@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the math kernels underlying every K-FAC
+//! work type: GEMM (forward/backward/precondition), symmetric Gram updates
+//! (curvature), and Cholesky inversion (inversion work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipefisher_tensor::{cholesky_inverse, Matrix};
+use std::hint::black_box;
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
+}
+
+fn rand_spd(n: usize, seed: u64) -> Matrix {
+    let m = rand_matrix(n, n, seed);
+    let mut spd = m.matmul_tn(&m);
+    spd.add_diag(n as f64 * 0.05 + 1.0);
+    spd
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let a = rand_matrix(n, n, 1);
+        let b = rand_matrix(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bencher, _| {
+            bencher.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_curvature(c: &mut Criterion) {
+    // The curvature kernel: Gram matrix of per-token activations, U ∈
+    // (tokens × d) → UᵀU ∈ (d × d).
+    let mut group = c.benchmark_group("curvature_gram");
+    for &d in &[32usize, 64, 128] {
+        let u = rand_matrix(256, d, 3);
+        group.bench_with_input(BenchmarkId::new("gram_256tok", d), &d, |bencher, _| {
+            bencher.iter(|| black_box(u.gram()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inversion(c: &mut Criterion) {
+    // The inversion kernel: damped Cholesky inverse of a Kronecker factor.
+    let mut group = c.benchmark_group("inversion");
+    for &n in &[32usize, 64, 128] {
+        let a = rand_spd(n, 4);
+        group.bench_with_input(BenchmarkId::new("cholesky_inverse", n), &n, |bencher, _| {
+            bencher.iter(|| black_box(cholesky_inverse(&a).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_precondition(c: &mut Criterion) {
+    // The precondition kernel: B⁻¹·G·A⁻¹ (two GEMMs).
+    let mut group = c.benchmark_group("precondition");
+    for &(dout, din) in &[(32usize, 64usize), (64, 128)] {
+        let inv_b = rand_spd(dout, 5);
+        let inv_a = rand_spd(din, 6);
+        let g = rand_matrix(dout, din, 7);
+        let id = format!("{dout}x{din}");
+        group.bench_function(BenchmarkId::new("b_g_a", id), |bencher| {
+            bencher.iter(|| black_box(inv_b.matmul(&g).matmul(&inv_a)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_curvature, bench_inversion, bench_precondition);
+criterion_main!(benches);

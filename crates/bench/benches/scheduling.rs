@@ -1,0 +1,59 @@
+//! Criterion benchmarks for schedule construction, simulation, and the
+//! PipeFisher bubble-assignment pass — the "compile time" of the static
+//! schedule, which the paper runs once per training configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipefisher_bench::Setting;
+use pipefisher_core::assign;
+use pipefisher_pipeline::PipelineScheme;
+use pipefisher_sim::{simulate, UniformCost};
+use std::hint::black_box;
+
+fn bench_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_build");
+    for scheme in PipelineScheme::all() {
+        for &d in &[4usize, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), d),
+                &d,
+                |bencher, &d| {
+                    bencher.iter(|| black_box(scheme.build(d, d)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    let cost = UniformCost::new(1.0, 2.0);
+    for scheme in PipelineScheme::all() {
+        let graph = scheme.build(8, 8);
+        group.bench_function(scheme.name(), |bencher| {
+            bencher.iter(|| black_box(simulate(&graph, &cost).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipefisher_assign");
+    group.sample_size(20);
+    for scheme in PipelineScheme::all() {
+        let setting = Setting::fig3(scheme, 1);
+        let config = setting.assign_config();
+        group.bench_function(scheme.name(), |bencher| {
+            bencher.iter(|| black_box(assign(&config).unwrap()));
+        });
+    }
+    // The paper's largest assignment: BERT-Large Chimera D=8.
+    let fig4 = Setting::fig4().assign_config();
+    group.bench_function("fig4_bert_large", |bencher| {
+        bencher.iter(|| black_box(assign(&fig4).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builders, bench_simulate, bench_assignment);
+criterion_main!(benches);

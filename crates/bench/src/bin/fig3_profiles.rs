@@ -1,0 +1,50 @@
+//! Figure 3: profiled GPipe and 1F1B steps, Adam vs PipeFisher, BERT-Base.
+//!
+//! Paper setting: BERT-Base (L=12), 4 stages (3 blocks/stage), N_micro=4,
+//! B_micro=32, S=128, NVIDIA P100s. Three rows per scheme:
+//!
+//! * baseline first-order optimizer (Adam) — top row of the paper figure,
+//! * PipeFisher without data/inversion parallelism (4 GPUs) — middle,
+//! * PipeFisher with data+inversion parallelism (8 GPUs, W=2) — bottom.
+//!
+//! Paper shape targets: baseline utilization ≈ 42 % (measured with real
+//! kernel gaps; the pure schedule model gives 57 %), PipeFisher ≈ 89 %, and
+//! curvature+inverses refreshed within ~2 steps.
+
+use pipefisher_bench::{fmt_ms, pct, Setting};
+use pipefisher_core::assign;
+use pipefisher_pipeline::PipelineScheme;
+
+fn main() {
+    println!("=== Figure 3: BERT-Base, D=4 (3 blocks/stage), N_micro=4, B_micro=32, P100 ===\n");
+    for scheme in [PipelineScheme::GPipe, PipelineScheme::OneFOneB] {
+        println!("--- {} ---", scheme.name());
+        for (label, w) in [("PipeFisher (4 GPUs, W=1)", 1), ("PipeFisher + data/inv parallel (8 GPUs, W=2)", 2)] {
+            let setting = Setting::fig3(scheme, w);
+            let schedule = assign(&setting.assign_config()).expect("assignment fits");
+            if w == 1 {
+                println!(
+                    "  baseline (Adam):    utilization {:>6}   step {:>9}",
+                    pct(schedule.utilization_baseline),
+                    fmt_ms(schedule.t_step_baseline),
+                );
+            }
+            println!(
+                "  {label}:\n    utilization {:>6} steady ({} cold-start)   step {:>9}   refresh {:.1} step(s) steady ({} cold)   overhead {:+.1}%",
+                pct(schedule.steady_utilization),
+                pct(schedule.utilization),
+                fmt_ms(schedule.t_step),
+                schedule.steady_refresh_steps,
+                schedule.refresh_steps,
+                (schedule.t_step / schedule.t_step_baseline - 1.0) * 100.0,
+            );
+            if w == 1 {
+                println!("\n  timeline over the refresh window (W=1):");
+                print!("{}", schedule.augmented_timeline.render_ascii(110));
+            }
+        }
+        println!();
+    }
+    println!("paper targets: baseline ~42% (w/ kernel gaps; pure schedule shape 57%),");
+    println!("               PipeFisher ~89%, refresh within 2 steps.");
+}

@@ -1,0 +1,40 @@
+//! Figure 7: learning-rate schedules for BERT-Base Phase 1 pretraining.
+//!
+//! NVLAMB: linear warmup over 2,000 steps to 6e-3, then polynomial decay
+//! `(1 − t/7038)^0.5`. K-FAC: identical but warmup shortened to 600 steps,
+//! giving higher learning rates in the early phase (the aggressiveness the
+//! improved curvature conditioning allows, §4).
+
+use pipefisher_optim::LrSchedule;
+
+fn main() {
+    let nvlamb = LrSchedule::nvlamb_bert_base();
+    let kfac = LrSchedule::kfac_bert_base();
+    println!("=== Figure 7: LR schedules (BERT-Base Phase 1) ===\n");
+    println!("{:>6} {:>12} {:>12}", "step", "NVLAMB", "K-FAC");
+    for step in (0..=7_038).step_by(250) {
+        println!("{:>6} {:>12.5} {:>12.5}", step, nvlamb.lr_at(step), kfac.lr_at(step));
+    }
+
+    // ASCII plot.
+    println!("\n  lr (x = 100 steps; N = NVLAMB, K = K-FAC, B = both)");
+    let rows = 16;
+    let cols = 71;
+    let max_lr = 6e-3;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for col in 0..cols {
+        let step = col * 7_038 / (cols - 1);
+        for (ch, sched) in [('N', &nvlamb), ('K', &kfac)] {
+            let lr = sched.lr_at(step);
+            let row = rows - 1 - ((lr / max_lr) * (rows - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(rows - 1)][col];
+            *cell = if *cell == ' ' || *cell == ch { ch } else { 'B' };
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let lr_label = max_lr * (rows - 1 - i) as f64 / (rows - 1) as f64;
+        println!("{:>8.4} |{}", lr_label * 1e3, row.iter().collect::<String>());
+    }
+    println!("{:>8} +{}", "", "-".repeat(cols));
+    println!("{:>8}  0{:>35}{:>35}", "", "3519", "7038");
+}

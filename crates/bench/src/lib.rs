@@ -1,0 +1,179 @@
+//! Shared helpers for the PipeFisher benchmark harness.
+//!
+//! The experiments live in `src/bin/` (one binary per paper table or
+//! figure — see DESIGN.md §4 for the index) and `benches/` (Criterion
+//! micro-benchmarks). This library hosts the code they share: construction
+//! of paper-setting configurations and result formatting.
+
+use pipefisher_core::PipeFisherConfig;
+use pipefisher_perfmodel::{
+    stage_costs, stage_memory, HardwareProfile, StageMemory, StepModelInput, TransformerConfig,
+};
+use pipefisher_pipeline::PipelineScheme;
+use pipefisher_sim::{ring_allreduce_time, KindCost};
+
+/// A fully specified experiment setting: architecture, hardware, pipeline.
+#[derive(Debug, Clone)]
+pub struct Setting {
+    /// Transformer architecture (Table 3 presets).
+    pub arch: TransformerConfig,
+    /// GPU profile.
+    pub hw: HardwareProfile,
+    /// Pipeline scheme.
+    pub scheme: PipelineScheme,
+    /// Number of pipeline stages.
+    pub d: usize,
+    /// Micro-batches per device per step.
+    pub n_micro: usize,
+    /// Micro-batch size (sequences).
+    pub b_micro: usize,
+    /// Transformer blocks per pipeline stage.
+    pub blocks_per_stage: usize,
+    /// Data-parallel replicas per stage.
+    pub w: usize,
+    /// Activation recomputation.
+    pub recompute: bool,
+}
+
+impl Setting {
+    /// Per-stage durations including collective costs derived from the
+    /// hardware profile.
+    pub fn costs(&self) -> KindCost {
+        let mut c = stage_costs(&self.arch, &self.hw, self.blocks_per_stage, self.b_micro, self.recompute);
+        let mem = self.memory();
+        // Replica count for the collectives: explicit W, times Chimera's
+        // built-in stage pairing.
+        let replicas = self.w * if self.scheme == PipelineScheme::Chimera { 2 } else { 1 };
+        c.t_sync_grad =
+            ring_allreduce_time(mem.m_theta, replicas, self.hw.link_bandwidth, self.hw.link_latency);
+        c.t_sync_curv = ring_allreduce_time(
+            2.0 * mem.m_curv,
+            replicas,
+            self.hw.link_bandwidth,
+            self.hw.link_latency,
+        );
+        c
+    }
+
+    /// Per-stage memory terms.
+    pub fn memory(&self) -> StageMemory {
+        stage_memory(&self.arch, self.blocks_per_stage, self.b_micro, self.recompute)
+    }
+
+    /// The PipeFisher assignment configuration for this setting.
+    pub fn assign_config(&self) -> PipeFisherConfig {
+        PipeFisherConfig {
+            scheme: self.scheme,
+            d: self.d,
+            n_micro: self.n_micro,
+            w: self.w,
+            costs: self.costs(),
+            max_steps: 64,
+            chimera_pair_parallelism: self.scheme == PipelineScheme::Chimera,
+            recompute: self.recompute,
+            granularity: self.blocks_per_stage,
+        }
+    }
+
+    /// The §3.3 closed-form model input for this setting.
+    pub fn step_model_input(&self) -> StepModelInput {
+        StepModelInput {
+            scheme: self.scheme,
+            d: self.d,
+            n_micro: self.n_micro,
+            b_micro: self.b_micro,
+            w: self.w,
+            costs: self.costs(),
+            memory: self.memory(),
+            hw: self.hw.clone(),
+        }
+    }
+
+    /// The paper's Figure 3 setting: BERT-Base, D=4 (3 blocks/stage),
+    /// N_micro=4, B_micro=32, P100.
+    pub fn fig3(scheme: PipelineScheme, w: usize) -> Setting {
+        Setting {
+            arch: TransformerConfig::bert_base(),
+            hw: HardwareProfile::p100(),
+            scheme,
+            d: 4,
+            n_micro: 4,
+            b_micro: 32,
+            blocks_per_stage: 3,
+            w,
+            recompute: false,
+        }
+    }
+
+    /// The paper's Figure 4 setting: BERT-Large, Chimera, D=8
+    /// (3 blocks/stage), N_micro=8, B_micro=32, P100.
+    pub fn fig4() -> Setting {
+        Setting {
+            arch: TransformerConfig::bert_large(),
+            hw: HardwareProfile::p100(),
+            scheme: PipelineScheme::Chimera,
+            d: 8,
+            n_micro: 8,
+            b_micro: 32,
+            blocks_per_stage: 3,
+            w: 1,
+            recompute: false,
+        }
+    }
+
+    /// The paper's Figure 6 wall-clock setting: BERT-Base, Chimera, D=4,
+    /// N_micro=4, B_micro=32, W=64 (256 GPUs), P100.
+    pub fn fig6() -> Setting {
+        Setting { w: 64, ..Setting::fig3(PipelineScheme::Chimera, 1) }
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.759 → "75.9%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats seconds as minutes with one decimal.
+pub fn fmt_minutes(seconds: f64) -> String {
+    format!("{:.1} min", seconds / 60.0)
+}
+
+/// Formats seconds as milliseconds with one decimal.
+pub fn fmt_ms(seconds: f64) -> String {
+    format!("{:.1} ms", seconds * 1e3)
+}
+
+/// Formats bytes as GiB-style GB with one decimal.
+pub fn fmt_gb(bytes: f64) -> String {
+    format!("{:.1} GB", bytes / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.759), "75.9%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn minutes_formats() {
+        assert_eq!(fmt_minutes(120.0), "2.0 min");
+    }
+
+    #[test]
+    fn fig3_setting_is_assignable() {
+        let s = Setting::fig3(PipelineScheme::GPipe, 1);
+        let sched = pipefisher_core::assign(&s.assign_config()).unwrap();
+        assert!(sched.utilization > sched.utilization_baseline);
+    }
+
+    #[test]
+    fn fig4_setting_is_assignable() {
+        let s = Setting::fig4();
+        let sched = pipefisher_core::assign(&s.assign_config()).unwrap();
+        assert!(sched.steady_utilization > 0.9, "util {}", sched.steady_utilization);
+    }
+}

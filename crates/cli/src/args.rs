@@ -1,0 +1,83 @@
+//! Tiny argument-parsing helpers shared by the subcommands.
+
+use pipefisher_perfmodel::{HardwareProfile, TransformerConfig};
+use pipefisher_pipeline::PipelineScheme;
+
+/// Parses a pipeline scheme name.
+pub fn scheme(s: &str) -> Result<PipelineScheme, String> {
+    match s {
+        "gpipe" => Ok(PipelineScheme::GPipe),
+        "1f1b" => Ok(PipelineScheme::OneFOneB),
+        "chimera" => Ok(PipelineScheme::Chimera),
+        other => Err(format!("unknown scheme '{other}' (gpipe | 1f1b | chimera)")),
+    }
+}
+
+/// Parses an architecture name (Table 3).
+pub fn arch(s: &str) -> Result<TransformerConfig, String> {
+    match s {
+        "bert-base" => Ok(TransformerConfig::bert_base()),
+        "bert-large" => Ok(TransformerConfig::bert_large()),
+        "t5-base" => Ok(TransformerConfig::t5_base()),
+        "t5-large" => Ok(TransformerConfig::t5_large()),
+        "opt-125m" => Ok(TransformerConfig::opt_125m()),
+        "opt-350m" => Ok(TransformerConfig::opt_350m()),
+        other => Err(format!(
+            "unknown architecture '{other}' (bert-base | bert-large | t5-base | t5-large | opt-125m | opt-350m)"
+        )),
+    }
+}
+
+/// Parses a hardware profile name.
+pub fn hardware(s: &str) -> Result<HardwareProfile, String> {
+    match s {
+        "p100" => Ok(HardwareProfile::p100()),
+        "v100" => Ok(HardwareProfile::v100()),
+        "rtx3090" => Ok(HardwareProfile::rtx3090()),
+        other => Err(format!("unknown hardware '{other}' (p100 | v100 | rtx3090)")),
+    }
+}
+
+/// Parses a positional integer argument.
+pub fn int(args: &[String], idx: usize, name: &str) -> Result<usize, String> {
+    let raw = args.get(idx).ok_or_else(|| format!("missing argument <{name}>"))?;
+    raw.parse().map_err(|_| format!("<{name}> must be a number, got '{raw}'"))
+}
+
+/// Whether a `--flag` is present anywhere in the arguments.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Value of a `--key value` pair, if present.
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names() {
+        assert!(scheme("chimera").is_ok());
+        assert!(scheme("nope").is_err());
+        assert_eq!(arch("t5-large").unwrap().seq_len, 512);
+        assert_eq!(hardware("v100").unwrap().name, "V100");
+    }
+
+    #[test]
+    fn parses_ints_and_flags() {
+        let args: Vec<String> =
+            ["8", "--json", "--seed", "42"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(int(&args, 0, "d").unwrap(), 8);
+        assert!(int(&args, 9, "d").is_err());
+        assert!(has_flag(&args, "--json"));
+        assert!(!has_flag(&args, "--quiet"));
+        assert_eq!(flag_value(&args, "--seed"), Some("42"));
+        assert_eq!(flag_value(&args, "--nope"), None);
+    }
+}

@@ -1,0 +1,81 @@
+//! `pipefisher assign` — run the bubble assignment for a paper-style setting.
+
+use crate::args;
+use pipefisher_core::{assign, PipeFisherConfig};
+use pipefisher_perfmodel::{stage_costs, stage_memory};
+use pipefisher_pipeline::PipelineScheme;
+use pipefisher_sim::ring_allreduce_time;
+use serde_json::json;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let scheme = args::scheme(args.first().map(String::as_str).unwrap_or(""))?;
+    let arch = args::arch(args.get(1).map(String::as_str).unwrap_or(""))?;
+    let hw = args::hardware(args.get(2).map(String::as_str).unwrap_or(""))?;
+    let d = args::int(args, 3, "D")?;
+    let b_micro = args::int(args, 4, "B_micro")?;
+    let blocks = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let w = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let recompute = args::has_flag(args, "--recompute");
+    let json_out = args::has_flag(args, "--json");
+
+    let mut costs = stage_costs(&arch, &hw, blocks, b_micro, recompute);
+    let mem = stage_memory(&arch, blocks, b_micro, recompute);
+    let replicas = w * if scheme == PipelineScheme::Chimera { 2 } else { 1 };
+    costs.t_sync_grad = ring_allreduce_time(mem.m_theta, replicas, hw.link_bandwidth, hw.link_latency);
+    costs.t_sync_curv =
+        ring_allreduce_time(2.0 * mem.m_curv, replicas, hw.link_bandwidth, hw.link_latency);
+
+    let schedule = assign(&PipeFisherConfig {
+        scheme,
+        d,
+        n_micro: d,
+        w,
+        costs,
+        max_steps: 128,
+        chimera_pair_parallelism: scheme == PipelineScheme::Chimera,
+        recompute,
+        granularity: blocks * 6, // per-layer chunks
+    })
+    .map_err(|e| e.to_string())?;
+
+    if json_out {
+        let out = json!({
+            "scheme": scheme.name(),
+            "arch": arch.name,
+            "hw": hw.name,
+            "d": d,
+            "b_micro": b_micro,
+            "blocks_per_stage": blocks,
+            "w": w,
+            "recompute": recompute,
+            "t_step_baseline_ms": schedule.t_step_baseline * 1e3,
+            "t_step_ms": schedule.t_step * 1e3,
+            "utilization_baseline": schedule.utilization_baseline,
+            "utilization_steady": schedule.steady_utilization,
+            "refresh_steps_steady": schedule.steady_refresh_steps,
+            "refresh_steps_cold": schedule.refresh_steps,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+        return Ok(());
+    }
+
+    println!("{} / {} on {} — D={d}, B_micro={b_micro}, {blocks} block(s)/stage, W={w}", scheme.name(), arch.name, hw.name);
+    println!(
+        "baseline:   step {:.1} ms, utilization {:.1}%",
+        schedule.t_step_baseline * 1e3,
+        schedule.utilization_baseline * 100.0
+    );
+    println!(
+        "PipeFisher: step {:.1} ms (+{:.1}%), utilization {:.1}% steady ({:.1}% cold)",
+        schedule.t_step * 1e3,
+        (schedule.t_step / schedule.t_step_baseline - 1.0) * 100.0,
+        schedule.steady_utilization * 100.0,
+        schedule.utilization * 100.0
+    );
+    println!(
+        "curvature refresh: every {:.1} steps steady ({} cold-start)",
+        schedule.steady_refresh_steps, schedule.refresh_steps
+    );
+    print!("{}", schedule.augmented_timeline.render_ascii(100));
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! `pipefisher model` — evaluate the §3.3 closed-form step model.
+
+use crate::args;
+use pipefisher_perfmodel::{model_step, stage_costs, stage_memory, StepModelInput};
+use pipefisher_pipeline::PipelineScheme;
+use serde_json::json;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let arch = args::arch(args.first().map(String::as_str).unwrap_or(""))?;
+    let hw = args::hardware(args.get(1).map(String::as_str).unwrap_or(""))?;
+    let d = args::int(args, 2, "D")?;
+    let b_micro = args::int(args, 3, "B_micro")?;
+    let json_out = args::has_flag(args, "--json");
+
+    let mut rows = Vec::new();
+    for scheme in PipelineScheme::all() {
+        let m = model_step(&StepModelInput {
+            scheme,
+            d,
+            n_micro: d,
+            b_micro,
+            w: 1,
+            costs: stage_costs(&arch, &hw, 1, b_micro, false),
+            memory: stage_memory(&arch, 1, b_micro, false),
+            hw: hw.clone(),
+        });
+        rows.push((scheme, m));
+    }
+
+    if json_out {
+        let out: Vec<_> = rows
+            .iter()
+            .map(|(scheme, m)| {
+                json!({
+                    "scheme": scheme.name(),
+                    "t_pipe_ms": m.t_pipe * 1e3,
+                    "t_bubble_ms": m.t_bubble * 1e3,
+                    "t_prec_ms": m.t_prec * 1e3,
+                    "throughput_seq_per_s": m.throughput,
+                    "throughput_baseline_seq_per_s": m.throughput_baseline,
+                    "ratio": m.ratio,
+                    "memory_gb": (m.m_pipe + m.m_kfac_extra) / 1e9,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+        return Ok(());
+    }
+
+    println!("{} on {} — D={d} (1 block/stage), N_micro={d}, B_micro={b_micro}", arch.name, hw.name);
+    println!(
+        "{:<10} | {:>10} {:>11} {:>10} {:>8} {:>9}",
+        "scheme", "step (ms)", "bubble (ms)", "thru", "ratio", "mem (GB)"
+    );
+    for (scheme, m) in rows {
+        println!(
+            "{:<10} | {:>10.1} {:>11.1} {:>10.1} {:>8.2} {:>9.2}",
+            scheme.name(),
+            m.t_step_pipefisher * 1e3,
+            m.t_bubble * 1e3,
+            m.throughput,
+            m.ratio,
+            (m.m_pipe + m.m_kfac_extra) / 1e9
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! `pipefisher schedule` — render a pipeline schedule.
+
+use crate::args;
+use pipefisher_pipeline::{build_async_1f1b, build_interleaved_1f1b, with_recompute};
+use pipefisher_sim::{simulate, UniformCost};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let d = args::int(argv, 1, "D")?;
+    let n = args::int(argv, 2, "N_micro")?;
+    let recompute = args::has_flag(argv, "--recompute");
+    let csv = args::has_flag(argv, "--csv");
+
+    let mut graph = match argv.first().map(String::as_str) {
+        Some("interleaved") => {
+            let v = args::flag_value(argv, "--virtual")
+                .map(|s| s.parse().map_err(|_| format!("bad --virtual '{s}'")))
+                .transpose()?
+                .unwrap_or(2);
+            build_interleaved_1f1b(d, n, v)
+        }
+        Some("async") => {
+            let steps = args::flag_value(argv, "--steps")
+                .map(|s| s.parse().map_err(|_| format!("bad --steps '{s}'")))
+                .transpose()?
+                .unwrap_or(4);
+            build_async_1f1b(d, n, steps)
+        }
+        Some(name) => args::scheme(name)?.build(d, n),
+        None => return Err("missing <scheme> (gpipe | 1f1b | chimera | interleaved | async)".into()),
+    };
+    if recompute {
+        graph = with_recompute(&graph);
+    }
+    graph.validate().map_err(|e| e.to_string())?;
+    let tl = simulate(&graph, &UniformCost::new(1.0, 2.0)).map_err(|e| e.to_string())?;
+    if csv {
+        print!("{}", tl.to_csv());
+        return Ok(());
+    }
+    println!(
+        "{} — D={d}, N_micro={n}{} (T_f=1, T_b=2)",
+        graph.scheme_name(),
+        if recompute { ", recompute" } else { "" }
+    );
+    print!("{}", tl.render_ascii(100));
+    println!(
+        "makespan {:.1}, utilization {:.1}%, total bubble {:.1}",
+        tl.makespan(),
+        tl.utilization() * 100.0,
+        tl.total_bubble(tl.makespan())
+    );
+    Ok(())
+}

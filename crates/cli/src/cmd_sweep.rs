@@ -1,0 +1,48 @@
+//! `pipefisher sweep` — refresh-ratio sweep across D, B_micro, hardware.
+
+use crate::args;
+use pipefisher_perfmodel::{model_step, stage_costs, stage_memory, HardwareProfile, StepModelInput};
+use pipefisher_pipeline::PipelineScheme;
+use serde_json::json;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let arch = args::arch(args.first().map(String::as_str).unwrap_or(""))?;
+    let json_out = args::has_flag(args, "--json");
+
+    let mut records = Vec::new();
+    for hw in HardwareProfile::all() {
+        for d in [4usize, 8, 16, 32] {
+            for b_micro in [1usize, 4, 16, 32] {
+                let m = model_step(&StepModelInput {
+                    scheme: PipelineScheme::Chimera,
+                    d,
+                    n_micro: d,
+                    b_micro,
+                    w: 1,
+                    costs: stage_costs(&arch, &hw, 1, b_micro, false),
+                    memory: stage_memory(&arch, 1, b_micro, false),
+                    hw: hw.clone(),
+                });
+                records.push((hw.name.clone(), d, b_micro, m.throughput, m.ratio));
+            }
+        }
+    }
+
+    if json_out {
+        let out: Vec<_> = records
+            .iter()
+            .map(|(hw, d, b, thru, ratio)| {
+                json!({"hw": hw, "d": d, "b_micro": b, "throughput": thru, "ratio": ratio})
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+        return Ok(());
+    }
+
+    println!("{} — Chimera, one block/stage, N_micro=D", arch.name);
+    println!("{:>8} {:>4} {:>8} | {:>10} {:>7}", "hw", "D", "B_micro", "thru", "ratio");
+    for (hw, d, b, thru, ratio) in records {
+        println!("{:>8} {:>4} {:>8} | {:>10.1} {:>7.2}", hw, d, b, thru, ratio);
+    }
+    Ok(())
+}

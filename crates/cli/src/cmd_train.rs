@@ -1,0 +1,56 @@
+//! `pipefisher train` — pretrain a tiny BERT on the synthetic language.
+
+use crate::args;
+use pipefisher_lm::{BatchSampler, OptimizerChoice, SyntheticLanguage, Trainer};
+use pipefisher_nn::{BertConfig, BertForPreTraining};
+use pipefisher_optim::{KfacConfig, LrSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let choice = match args.first().map(String::as_str) {
+        Some("lamb") => OptimizerChoice::Lamb { weight_decay: 0.01 },
+        Some("kfac") => OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 3e-2,
+                ema_decay: 0.5,
+                curvature_interval: 3,
+                inversion_interval: 3,
+                kl_clip: Some(1e-2),
+                factor_block_size: None,
+            },
+        },
+        other => return Err(format!("unknown optimizer {other:?} (lamb | kfac)")),
+    };
+    let steps = args::int(args, 1, "steps")?;
+    let seed: u64 = args::flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(42);
+
+    let lang = SyntheticLanguage::new(68, 4, 4, 7);
+    let sampler = BatchSampler::new(lang, 16);
+    let warmup = if matches!(choice, OptimizerChoice::Kfac { .. }) {
+        steps / 12 // the paper's shortened K-FAC warmup (600 vs 2000)
+    } else {
+        steps * 3 / 10
+    };
+    let schedule = LrSchedule::PolyWithWarmup {
+        base_lr: 1e-2,
+        warmup_steps: warmup.max(1),
+        total_steps: steps,
+        power: 0.5,
+    };
+    let mut trainer = Trainer::new(sampler, 16, schedule, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
+    let run = trainer.run(&mut model, &choice, steps);
+    let sm = run.smoothed(9);
+    println!("{} — {} steps (warmup {})", run.label, steps, warmup.max(1));
+    for i in (0..steps).step_by((steps / 20).max(1)) {
+        println!("step {:>5}: loss {:.4}", i, sm[i]);
+    }
+    println!("final smoothed loss: {:.4}", run.final_loss(9));
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! `pipefisher` — command-line interface to the PipeFisher reproduction.
+//!
+//! ```text
+//! pipefisher schedule <scheme> <D> <N_micro> [--recompute] [--csv]
+//! pipefisher assign   <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
+//! pipefisher model    <arch> <hw> <D> <B_micro> [--json]
+//! pipefisher train    <lamb|kfac> <steps> [--seed N]
+//! pipefisher sweep    <arch> [--json]
+//! ```
+
+mod args;
+mod cmd_assign;
+mod cmd_model;
+mod cmd_schedule;
+mod cmd_sweep;
+mod cmd_train;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pipefisher — fill pipeline bubbles with second-order optimizer work
+
+USAGE:
+    pipefisher schedule <gpipe|1f1b|chimera|interleaved|async> <D> <N_micro>
+                        [--recompute] [--csv] [--virtual V] [--steps K]
+        Render a pipeline schedule as an ASCII timeline (or CSV).
+
+    pipefisher assign <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
+        Run PipeFisher's bubble assignment for a paper-style setting and
+        report utilization, refresh interval, and the filled timeline.
+
+    pipefisher model <arch> <hw> <D> <B_micro> [--json]
+        Evaluate the closed-form §3.3 step model for all three schemes.
+
+    pipefisher train <lamb|kfac> <steps> [--seed N]
+        Pretrain a tiny BERT on the synthetic language and print the loss
+        curve.
+
+    pipefisher sweep <arch> [--json]
+        (curvature+inversion)/bubble ratio across D, B_micro, and hardware.
+
+ARCHITECTURES: bert-base bert-large t5-base t5-large opt-125m opt-350m
+HARDWARE:      p100 v100 rtx3090";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("schedule") => cmd_schedule::run(&argv[1..]),
+        Some("assign") => cmd_assign::run(&argv[1..]),
+        Some("model") => cmd_model::run(&argv[1..]),
+        Some("train") => cmd_train::run(&argv[1..]),
+        Some("sweep") => cmd_sweep::run(&argv[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Data-parallel training emulation (paper §3.2's collectives as math).
+//!
+//! PipeFisher's data+inversion parallelism relies on two collectives:
+//! `sync-grad` (average gradients across a stage's replicas) and
+//! `sync-curvature` (average Kronecker factors). This module emulates `W`
+//! replicas explicitly — W copies of the model, each fed a shard of the
+//! mini-batch, with the collectives implemented as parameter-wise averaging —
+//! so the *semantic* claims can be tested: replicas stay bit-identical, and
+//! the whole construction equals single-replica big-batch training.
+
+use crate::BatchSampler;
+use pipefisher_nn::{BertForPreTraining, ForwardCtx, Parameter, PreTrainingBatch};
+use pipefisher_optim::{Lamb, LrSchedule, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Splits a batch into `w` equal shards (by sequence).
+///
+/// # Panics
+///
+/// Panics if the batch size is not divisible by `w`.
+pub fn shard_batch(batch: &PreTrainingBatch, w: usize) -> Vec<PreTrainingBatch> {
+    let total = batch.batch_size();
+    assert!(w > 0 && total % w == 0, "shard_batch: {total} sequences not divisible by {w}");
+    let per = total / w;
+    let s = batch.seq;
+    (0..w)
+        .map(|r| {
+            let rows = r * per * s..(r + 1) * per * s;
+            PreTrainingBatch {
+                token_ids: batch.token_ids[rows.clone()].to_vec(),
+                segment_ids: batch.segment_ids[rows.clone()].to_vec(),
+                mlm_targets: batch.mlm_targets[rows.clone()].to_vec(),
+                nsp_targets: batch.nsp_targets[r * per..(r + 1) * per].to_vec(),
+                seq: s,
+            }
+        })
+        .collect()
+}
+
+/// Averages the gradients of all replicas in place (the `sync-grad`
+/// allreduce). Requires structurally identical models.
+///
+/// # Panics
+///
+/// Panics if the replicas' parameter lists differ.
+pub fn sync_grads(replicas: &mut [BertForPreTraining]) {
+    let w = replicas.len();
+    if w <= 1 {
+        return;
+    }
+    // Gather.
+    let mut sums: Vec<pipefisher_tensor::Matrix> = Vec::new();
+    for (r, model) in replicas.iter_mut().enumerate() {
+        let mut idx = 0;
+        model.visit_params(&mut |p: &mut Parameter| {
+            if r == 0 {
+                sums.push(p.grad.clone());
+            } else {
+                assert!(idx < sums.len(), "sync_grads: replica structure mismatch");
+                sums[idx].axpy(1.0, &p.grad);
+            }
+            idx += 1;
+        });
+    }
+    let inv = 1.0 / w as f64;
+    for s in &mut sums {
+        s.scale_inplace(inv);
+    }
+    // Scatter.
+    for model in replicas.iter_mut() {
+        let mut idx = 0;
+        model.visit_params(&mut |p: &mut Parameter| {
+            p.grad = sums[idx].clone();
+            idx += 1;
+        });
+    }
+}
+
+/// Checks that all replicas hold bit-identical parameters (the invariant
+/// data parallelism must maintain).
+pub fn replicas_in_sync(replicas: &mut [BertForPreTraining]) -> bool {
+    if replicas.len() <= 1 {
+        return true;
+    }
+    let mut reference: Vec<pipefisher_tensor::Matrix> = Vec::new();
+    replicas[0].visit_params(&mut |p: &mut Parameter| reference.push(p.value.clone()));
+    for model in replicas.iter_mut().skip(1) {
+        let mut idx = 0;
+        let mut ok = true;
+        model.visit_params(&mut |p: &mut Parameter| {
+            if p.value != reference[idx] {
+                ok = false;
+            }
+            idx += 1;
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs `steps` of W-replica data-parallel LAMB training and returns the
+/// per-step mean losses. Replicas start identical and remain identical
+/// because the synced gradient is the only state-changing input.
+#[allow(clippy::too_many_arguments)]
+pub fn train_data_parallel(
+    sampler: &BatchSampler,
+    w: usize,
+    global_batch: usize,
+    steps: usize,
+    schedule: &LrSchedule,
+    weight_decay: f64,
+    model_seed: u64,
+    data_seed: u64,
+) -> (Vec<f64>, Vec<BertForPreTraining>) {
+    let mut rng = StdRng::seed_from_u64(model_seed);
+    let proto = BertForPreTraining::new(
+        pipefisher_nn::BertConfig::tiny(sampler.language().vocab_size(), sampler.seq_len()),
+        0.0,
+        &mut rng,
+    );
+    let mut replicas: Vec<BertForPreTraining> = (0..w).map(|_| proto.clone()).collect();
+    // One optimizer per replica — their states stay identical because they
+    // see identical (synced) gradients, mirroring real data parallelism.
+    let mut opts: Vec<Lamb> = (0..w).map(|_| Lamb::new(weight_decay)).collect();
+    let mut data_rng = StdRng::seed_from_u64(data_seed);
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let batch = sampler.sample(global_batch, &mut data_rng);
+        let shards = shard_batch(&batch, w);
+        let mut loss = 0.0;
+        for (model, shard) in replicas.iter_mut().zip(shards.iter()) {
+            model.zero_grad();
+            loss += model.train_step(shard, &ForwardCtx::train()).total_loss;
+        }
+        losses.push(loss / w as f64);
+        sync_grads(&mut replicas);
+        let lr = schedule.lr_at(step);
+        for (model, opt) in replicas.iter_mut().zip(opts.iter_mut()) {
+            opt.begin_step();
+            model.visit_params(&mut |p| opt.step_param(p, lr));
+        }
+    }
+    (losses, replicas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticLanguage;
+
+    fn sampler() -> BatchSampler {
+        BatchSampler::new(SyntheticLanguage::new(36, 2, 4, 5), 16)
+    }
+
+    #[test]
+    fn shards_partition_the_batch() {
+        let s = sampler();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = s.sample(8, &mut rng);
+        let shards = shard_batch(&batch, 4);
+        assert_eq!(shards.len(), 4);
+        let rebuilt: Vec<usize> =
+            shards.iter().flat_map(|b| b.token_ids.iter().copied()).collect();
+        assert_eq!(rebuilt, batch.token_ids);
+        for sh in &shards {
+            assert_eq!(sh.batch_size(), 2);
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync() {
+        let s = sampler();
+        let (_losses, mut replicas) = train_data_parallel(
+            &s,
+            2,
+            8,
+            5,
+            &LrSchedule::Constant(1e-2),
+            0.01,
+            7,
+            8,
+        );
+        assert!(replicas_in_sync(&mut replicas));
+    }
+
+    #[test]
+    fn data_parallel_equals_gradient_accumulation() {
+        // The §3.2 semantics: W replicas with averaged (mean-of-shard-mean)
+        // gradients compute *exactly* the same update as single-replica
+        // gradient accumulation over the same shards — the sampler draws
+        // sequences from one stream, so a batch of 8 sharded in two equals
+        // two accumulated batches of 4.
+        let s = sampler();
+        let (_l2, mut dp) = train_data_parallel(
+            &s,
+            2,
+            8,
+            4,
+            &LrSchedule::Constant(5e-3),
+            0.0,
+            7,
+            8,
+        );
+        let mut trainer = crate::Trainer::new(sampler(), 4, LrSchedule::Constant(5e-3), 8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut single = BertForPreTraining::new(
+            pipefisher_nn::BertConfig::tiny(36, 16),
+            0.0,
+            &mut rng,
+        );
+        let _ = trainer.run_with_options(
+            &mut single,
+            &crate::OptimizerChoice::Lamb { weight_decay: 0.0 },
+            4,
+            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+        );
+        let mut a = Vec::new();
+        dp[0].visit_params(&mut |p| a.push(p.value.clone()));
+        let mut max_diff = 0.0f64;
+        let mut idx = 0;
+        single.visit_params(&mut |p| {
+            max_diff = max_diff.max((&p.value - &a[idx]).max_abs());
+            idx += 1;
+        });
+        assert!(
+            max_diff < 1e-10,
+            "data-parallel diverged from accumulation: {max_diff}"
+        );
+    }
+
+    #[test]
+    fn data_parallel_loss_matches_big_batch_closely() {
+        // Against true big-batch training the match is only approximate
+        // (per-shard MLM means weight masked tokens differently), but the
+        // training *trajectory* must stay close.
+        let s = sampler();
+        let (l2, _) =
+            train_data_parallel(&s, 2, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
+        let (l1, _) =
+            train_data_parallel(&s, 1, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
+        for (a, b) in l1.iter().zip(l2.iter()) {
+            assert!((a - b).abs() < 0.15, "loss curves diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_shard_count_panics() {
+        let s = sampler();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = s.sample(6, &mut rng);
+        let _ = shard_batch(&batch, 4);
+    }
+}

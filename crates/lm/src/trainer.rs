@@ -1,0 +1,463 @@
+//! Pretraining loops with loss tracking (the Figure 6 machinery).
+
+use crate::BatchSampler;
+use pipefisher_nn::{BertForPreTraining, ForwardCtx};
+use pipefisher_optim::{Kfac, KfacConfig, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which optimizer a [`Trainer`] runs — the paper's two contenders.
+#[derive(Debug, Clone)]
+pub enum OptimizerChoice {
+    /// NVLAMB (the baseline).
+    Lamb {
+        /// Decoupled weight decay (paper: 0.01).
+        weight_decay: f64,
+    },
+    /// K-FAC preconditioning on top of NVLAMB (the paper's "K-FAC").
+    Kfac {
+        /// Decoupled weight decay of the underlying LAMB.
+        weight_decay: f64,
+        /// K-FAC hyperparameters; set `curvature_interval`/
+        /// `inversion_interval` to the refresh interval PipeFisher achieves
+        /// for the target pipeline (the whole point of the paper: the bubble
+        /// schedule determines how fresh the curvature can be).
+        kfac: KfacConfig,
+    },
+    /// Shampoo (paper §5's other bubble-fillable second-order method).
+    Shampoo {
+        /// Shampoo hyperparameters; `root_interval` plays the role of the
+        /// PipeFisher refresh interval.
+        shampoo: ShampooConfig,
+    },
+}
+
+/// A completed training run's loss history.
+#[derive(Debug, Clone)]
+pub struct TrainRun {
+    /// Per-step total pretraining loss (MLM + NSP), as Figure 6 plots.
+    pub losses: Vec<f64>,
+    /// Optimizer label for reports.
+    pub label: String,
+}
+
+impl TrainRun {
+    /// Centered moving average with the given window (the stand-in for the
+    /// paper's Butterworth `filtfilt` smoothing).
+    pub fn smoothed(&self, window: usize) -> Vec<f64> {
+        let w = window.max(1);
+        let n = self.losses.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(w / 2);
+                let hi = (i + w / 2 + 1).min(n);
+                self.losses[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    }
+
+    /// Final smoothed loss.
+    pub fn final_loss(&self, window: usize) -> f64 {
+        *self.smoothed(window).last().expect("empty run")
+    }
+
+    /// First step whose smoothed loss reaches `target` and stays there for
+    /// the rest of the window-smoothed curve's local neighbourhood; `None`
+    /// if never reached. Mirrors the paper's "steps for K-FAC to reach
+    /// NVLAMB's final loss" extraction (ignoring early fluctuations).
+    pub fn steps_to_reach(&self, target: f64, window: usize) -> Option<usize> {
+        let sm = self.smoothed(window);
+        sm.iter().position(|&l| l <= target)
+    }
+}
+
+/// Extra training-loop options.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// Micro-batch gradient accumulation: each optimizer step averages the
+    /// gradients of this many sampled batches (the paper's App. B.2
+    /// simulates its 8,192 mini-batch on 32 GPUs this way).
+    pub accumulation_steps: usize,
+    /// Asynchronous-pipeline emulation (App. C.1): apply the gradient
+    /// computed this many steps *ago* (`θ_{t+1} = θ_t − η·g_{t−m}`). Zero =
+    /// synchronous. Only meaningful for first-order optimizers.
+    pub grad_delay: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { accumulation_steps: 1, grad_delay: 0 }
+    }
+}
+
+/// Runs BERT pretraining on synthetic data with a chosen optimizer.
+#[derive(Debug)]
+pub struct Trainer {
+    sampler: BatchSampler,
+    batch_size: usize,
+    schedule: LrSchedule,
+    data_rng: StdRng,
+}
+
+impl Trainer {
+    /// Creates a trainer drawing `batch_size`-sequence batches.
+    pub fn new(sampler: BatchSampler, batch_size: usize, schedule: LrSchedule, seed: u64) -> Self {
+        Trainer { sampler, batch_size, schedule, data_rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Trains `model` for `steps` steps with gradient accumulation and/or
+    /// stale-gradient application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.accumulation_steps == 0`, or if `grad_delay > 0` is
+    /// combined with the K-FAC optimizer (stale-gradient emulation models
+    /// asynchronous *first-order* pipelines, App. C.1).
+    pub fn run_with_options(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        opts: &TrainOptions,
+    ) -> TrainRun {
+        assert!(opts.accumulation_steps > 0, "accumulation_steps must be positive");
+        if opts.grad_delay > 0 {
+            assert!(
+                matches!(choice, OptimizerChoice::Lamb { .. }),
+                "grad_delay models asynchronous first-order pipelines; use Lamb"
+            );
+            return self.run_stale_lamb(model, choice, steps, opts);
+        }
+        if opts.accumulation_steps > 1 {
+            return self.run_accumulated(model, choice, steps, opts.accumulation_steps);
+        }
+        self.run(model, choice, steps)
+    }
+
+    fn run_accumulated(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        accumulation: usize,
+    ) -> TrainRun {
+        // Accumulate micro-batch gradients, then delegate the update to the
+        // same per-step machinery by scaling grads to the mean.
+        let scale = 1.0 / accumulation as f64;
+        match choice {
+            OptimizerChoice::Lamb { weight_decay } => {
+                let mut opt = Lamb::new(*weight_decay);
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    model.zero_grad();
+                    let mut loss = 0.0;
+                    for _ in 0..accumulation {
+                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                        loss += model.train_step(&batch, &ForwardCtx::train()).total_loss;
+                    }
+                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
+                    losses.push(loss * scale);
+                    let lr = self.schedule.lr_at(step);
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.step_param(p, lr));
+                }
+                TrainRun { losses, label: "NVLAMB".to_string() }
+            }
+            OptimizerChoice::Kfac { weight_decay, kfac } => {
+                let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    model.zero_grad();
+                    let refresh = step as u64 % kfac.curvature_interval as u64 == 0;
+                    let mut loss = 0.0;
+                    for acc in 0..accumulation {
+                        // Capture curvature statistics on the last
+                        // micro-batch of a refresh step (a fresh sample of
+                        // the same distribution, as PipeFisher's per-step
+                        // curvature uses one step's micro-batches).
+                        let ctx = if refresh && acc == accumulation - 1 {
+                            ForwardCtx::train_with_capture()
+                        } else {
+                            ForwardCtx::train()
+                        };
+                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                        loss += model.train_step(&batch, &ctx).total_loss;
+                    }
+                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
+                    losses.push(loss * scale);
+                    let lr = self.schedule.lr_at(step);
+                    opt.step(model, lr);
+                }
+                TrainRun { losses, label: "K-FAC".to_string() }
+            }
+            OptimizerChoice::Shampoo { shampoo } => {
+                let mut opt = Shampoo::new(shampoo.clone());
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    model.zero_grad();
+                    let mut loss = 0.0;
+                    for _ in 0..accumulation {
+                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                        loss += model.train_step(&batch, &ForwardCtx::train()).total_loss;
+                    }
+                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
+                    losses.push(loss * scale);
+                    let lr = self.schedule.lr_at(step);
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.step_param(p, lr));
+                }
+                TrainRun { losses, label: "Shampoo".to_string() }
+            }
+        }
+    }
+
+    fn run_stale_lamb(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        opts: &TrainOptions,
+    ) -> TrainRun {
+        let OptimizerChoice::Lamb { weight_decay } = choice else { unreachable!() };
+        let mut opt = Lamb::new(*weight_decay);
+        let mut losses = Vec::with_capacity(steps);
+        // Queue of delayed gradients: (name → grad) snapshots.
+        let mut queue: std::collections::VecDeque<Vec<pipefisher_tensor::Matrix>> =
+            std::collections::VecDeque::new();
+        for step in 0..steps {
+            let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+            model.zero_grad();
+            let out = model.train_step(&batch, &ForwardCtx::train());
+            losses.push(out.total_loss);
+            // Snapshot the fresh gradient, then apply the one from m steps ago.
+            let mut snapshot = Vec::new();
+            model.visit_params(&mut |p| snapshot.push(p.grad.clone()));
+            queue.push_back(snapshot);
+            if queue.len() > opts.grad_delay {
+                let stale = queue.pop_front().expect("queue nonempty");
+                let mut idx = 0;
+                model.visit_params(&mut |p| {
+                    p.grad = stale[idx].clone();
+                    idx += 1;
+                });
+                let lr = self.schedule.lr_at(step);
+                opt.begin_step();
+                model.visit_params(&mut |p| opt.step_param(p, lr));
+            }
+        }
+        TrainRun { losses, label: format!("NVLAMB (grad delay {})", opts.grad_delay) }
+    }
+
+    /// Trains `model` for `steps` steps, returning the loss history.
+    pub fn run(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+    ) -> TrainRun {
+        match choice {
+            OptimizerChoice::Lamb { weight_decay } => {
+                let mut opt = Lamb::new(*weight_decay);
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                    model.zero_grad();
+                    let out = model.train_step(&batch, &ForwardCtx::train());
+                    losses.push(out.total_loss);
+                    let lr = self.schedule.lr_at(step);
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.step_param(p, lr));
+                }
+                TrainRun { losses, label: "NVLAMB".to_string() }
+            }
+            OptimizerChoice::Kfac { weight_decay, kfac } => {
+                let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                    model.zero_grad();
+                    // Capture activations/errors only on curvature-refresh
+                    // steps (what PipeFisher's bubble schedule computes).
+                    let refresh =
+                        step as u64 % kfac.curvature_interval as u64 == 0;
+                    let ctx = if refresh {
+                        ForwardCtx::train_with_capture()
+                    } else {
+                        ForwardCtx::train()
+                    };
+                    let out = model.train_step(&batch, &ctx);
+                    losses.push(out.total_loss);
+                    let lr = self.schedule.lr_at(step);
+                    opt.step(model, lr);
+                }
+                TrainRun { losses, label: "K-FAC".to_string() }
+            }
+            OptimizerChoice::Shampoo { shampoo } => {
+                let mut opt = Shampoo::new(shampoo.clone());
+                let mut losses = Vec::with_capacity(steps);
+                for step in 0..steps {
+                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+                    model.zero_grad();
+                    let out = model.train_step(&batch, &ForwardCtx::train());
+                    losses.push(out.total_loss);
+                    let lr = self.schedule.lr_at(step);
+                    opt.begin_step();
+                    model.visit_params(&mut |p| opt.step_param(p, lr));
+                }
+                TrainRun { losses, label: "Shampoo".to_string() }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticLanguage;
+    use pipefisher_nn::BertConfig;
+
+    fn quick_setup(seed: u64) -> (Trainer, BertForPreTraining) {
+        let lang = SyntheticLanguage::new(36, 2, 4, 11);
+        let sampler = BatchSampler::new(lang, 16);
+        let trainer = Trainer::new(sampler, 8, LrSchedule::Constant(5e-3), seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BertForPreTraining::new(BertConfig::tiny(36, 16), 0.0, &mut rng);
+        (trainer, model)
+    }
+
+    #[test]
+    fn lamb_training_reduces_loss() {
+        let (mut trainer, mut model) = quick_setup(1);
+        let run = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, 30);
+        assert_eq!(run.losses.len(), 30);
+        let first = run.smoothed(5)[2];
+        let last = run.final_loss(5);
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn kfac_training_reduces_loss() {
+        let (mut trainer, mut model) = quick_setup(2);
+        let choice = OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 1e-2,
+                curvature_interval: 2,
+                inversion_interval: 2,
+                ..Default::default()
+            },
+        };
+        let run = trainer.run(&mut model, &choice, 30);
+        let first = run.smoothed(5)[2];
+        let last = run.final_loss(5);
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+        assert_eq!(run.label, "K-FAC");
+    }
+
+    #[test]
+    fn shampoo_training_reduces_loss() {
+        let (mut trainer, mut model) = quick_setup(9);
+        let choice = OptimizerChoice::Shampoo {
+            shampoo: pipefisher_optim::ShampooConfig {
+                root_interval: 2,
+                ..Default::default()
+            },
+        };
+        let run = trainer.run(&mut model, &choice, 30);
+        assert_eq!(run.label, "Shampoo");
+        let first = run.smoothed(5)[2];
+        let last = run.final_loss(5);
+        assert!(last < first, "loss did not drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn smoothing_and_target_extraction() {
+        let run = TrainRun {
+            losses: vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0],
+            label: "x".into(),
+        };
+        let sm = run.smoothed(3);
+        assert_eq!(sm.len(), 7);
+        assert!(sm[1] <= 4.0 + 1e-12);
+        assert_eq!(run.steps_to_reach(2.5, 1), Some(3));
+        assert_eq!(run.steps_to_reach(0.5, 1), None);
+    }
+
+    #[test]
+    fn accumulation_matches_big_batch_direction() {
+        // Accumulating 2 batches of 8 behaves like (and learns like) a
+        // batch of 16: losses drop and stay finite.
+        let (mut trainer, mut model) = quick_setup(4);
+        let run = trainer.run_with_options(
+            &mut model,
+            &OptimizerChoice::Lamb { weight_decay: 0.01 },
+            20,
+            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+        );
+        assert_eq!(run.losses.len(), 20);
+        assert!(run.losses.iter().all(|l| l.is_finite()));
+        assert!(run.final_loss(5) < run.smoothed(5)[2]);
+    }
+
+    #[test]
+    fn accumulated_kfac_also_learns() {
+        let (mut trainer, mut model) = quick_setup(5);
+        let choice = OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 1e-2,
+                curvature_interval: 2,
+                inversion_interval: 2,
+                ..Default::default()
+            },
+        };
+        let run = trainer.run_with_options(
+            &mut model,
+            &choice,
+            20,
+            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+        );
+        assert!(run.final_loss(5) < run.smoothed(5)[2]);
+    }
+
+    #[test]
+    fn stale_gradients_still_learn_but_trail_fresh() {
+        // App. C.1: asynchronous pipelines trade bubble-free throughput for
+        // stale gradients. A modest delay must still converge…
+        let (mut t_fresh, mut m_fresh) = quick_setup(6);
+        let fresh = t_fresh.run(&mut m_fresh, &OptimizerChoice::Lamb { weight_decay: 0.0 }, 40);
+        let (mut t_stale, mut m_stale) = quick_setup(6);
+        let stale = t_stale.run_with_options(
+            &mut m_stale,
+            &OptimizerChoice::Lamb { weight_decay: 0.0 },
+            40,
+            &crate::TrainOptions { accumulation_steps: 1, grad_delay: 4 },
+        );
+        assert!(stale.final_loss(7) < stale.smoothed(7)[3], "stale run did not learn");
+        // …but not faster than the synchronous baseline.
+        assert!(stale.final_loss(7) >= fresh.final_loss(7) - 0.05);
+        assert!(stale.label.contains("delay 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "asynchronous first-order")]
+    fn stale_kfac_is_rejected() {
+        let (mut trainer, mut model) = quick_setup(7);
+        let choice = OptimizerChoice::Kfac { weight_decay: 0.0, kfac: KfacConfig::default() };
+        let _ = trainer.run_with_options(
+            &mut model,
+            &choice,
+            5,
+            &crate::TrainOptions { accumulation_steps: 1, grad_delay: 2 },
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (mut t1, mut m1) = quick_setup(7);
+        let (mut t2, mut m2) = quick_setup(7);
+        let r1 = t1.run(&mut m1, &OptimizerChoice::Lamb { weight_decay: 0.0 }, 5);
+        let r2 = t2.run(&mut m2, &OptimizerChoice::Lamb { weight_decay: 0.0 }, 5);
+        assert_eq!(r1.losses, r2.losses);
+    }
+}

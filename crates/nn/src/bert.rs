@@ -1,0 +1,452 @@
+//! BERT encoder and the pretraining model (MLM + NSP heads).
+
+use crate::{
+    cross_entropy_backward, cross_entropy_loss, Activation, ActivationKind, Embedding, ForwardCtx,
+    Layer, LayerNorm, Linear, ParamVisitor,
+};
+use pipefisher_tensor::Matrix;
+use rand::Rng;
+
+/// Hyperparameters of a BERT encoder.
+///
+/// The presets mirror the paper: `base`/`large` match Table 3's dimensions
+/// and are used by the *cost model*; `tiny`/`mini` are CPU-trainable models
+/// used by the *convergence* experiments (the scheduling results depend only
+/// on dimensions, not weights — see DESIGN.md §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Vocabulary size (30,522 for real BERT).
+    pub vocab_size: usize,
+    /// Maximum sequence length for the position table.
+    pub max_seq: usize,
+    /// Hidden size `d_model`.
+    pub d_model: usize,
+    /// Feed-forward intermediate size `d_ff`.
+    pub d_ff: usize,
+    /// Number of attention heads.
+    pub n_heads: usize,
+    /// Number of encoder blocks `L`.
+    pub n_layers: usize,
+}
+
+impl BertConfig {
+    /// BERT-Base: L=12, d_model=768, d_ff=3072, h=12 (Table 3).
+    pub fn base() -> Self {
+        BertConfig { vocab_size: 30_522, max_seq: 512, d_model: 768, d_ff: 3072, n_heads: 12, n_layers: 12 }
+    }
+
+    /// BERT-Large: L=24, d_model=1024, d_ff=4096, h=16 (Table 3).
+    pub fn large() -> Self {
+        BertConfig { vocab_size: 30_522, max_seq: 512, d_model: 1024, d_ff: 4096, n_heads: 16, n_layers: 24 }
+    }
+
+    /// A CPU-trainable model for convergence experiments.
+    pub fn tiny(vocab_size: usize, max_seq: usize) -> Self {
+        BertConfig { vocab_size, max_seq, d_model: 32, d_ff: 64, n_heads: 2, n_layers: 2 }
+    }
+
+    /// A slightly larger CPU-trainable model.
+    pub fn mini(vocab_size: usize, max_seq: usize) -> Self {
+        BertConfig { vocab_size, max_seq, d_model: 64, d_ff: 128, n_heads: 4, n_layers: 4 }
+    }
+
+    /// Parameters per encoder block (attention q/k/v/o + FFN + 2 LayerNorms).
+    pub fn params_per_block(&self) -> usize {
+        let attn = 4 * (self.d_model * self.d_model + self.d_model);
+        let ffn = self.d_model * self.d_ff + self.d_ff + self.d_ff * self.d_model + self.d_model;
+        let ln = 2 * 2 * self.d_model;
+        attn + ffn + ln
+    }
+}
+
+/// A stack of transformer encoder blocks over BERT embeddings.
+#[derive(Debug, Clone)]
+pub struct BertModel {
+    config: BertConfig,
+    embedding: Embedding,
+    blocks: Vec<crate::TransformerBlock>,
+}
+
+impl BertModel {
+    /// Builds a randomly initialized encoder.
+    pub fn new(config: BertConfig, dropout_p: f64, rng: &mut impl Rng) -> Self {
+        let embedding = Embedding::new(
+            "bert.emb",
+            config.vocab_size,
+            config.max_seq,
+            config.d_model,
+            dropout_p,
+            rng,
+        );
+        let blocks = (0..config.n_layers)
+            .map(|i| {
+                crate::TransformerBlock::new(
+                    &format!("bert.block{i}"),
+                    config.d_model,
+                    config.d_ff,
+                    config.n_heads,
+                    dropout_p,
+                    rng,
+                )
+            })
+            .collect();
+        BertModel { config, embedding, blocks }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Encodes token/segment ids into hidden states (`batch·seq × d_model`).
+    pub fn forward(
+        &mut self,
+        token_ids: &[usize],
+        segment_ids: &[usize],
+        seq: usize,
+        ctx: &ForwardCtx,
+    ) -> Matrix {
+        let ctx = ctx.with_seq_len(seq);
+        let mut h = self.embedding.forward(token_ids, segment_ids, seq, &ctx);
+        for block in &mut self.blocks {
+            h = block.forward(&h, &ctx);
+        }
+        h
+    }
+
+    /// Backpropagates hidden-state gradients through blocks and embeddings.
+    pub fn backward(&mut self, dhidden: &Matrix) {
+        let mut d = dhidden.clone();
+        for block in self.blocks.iter_mut().rev() {
+            d = block.backward(&d);
+        }
+        self.embedding.backward(&d);
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.embedding.visit_params(f);
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+    }
+
+    /// Visits every K-FAC-eligible [`Linear`] layer in the encoder.
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        for block in &mut self.blocks {
+            block.visit_linears(f);
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.scale_inplace(0.0));
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+/// A pretraining mini-batch (token-major flattened sequences).
+#[derive(Debug, Clone)]
+pub struct PreTrainingBatch {
+    /// `batch·seq` token ids.
+    pub token_ids: Vec<usize>,
+    /// `batch·seq` segment ids (0 = sentence A, 1 = sentence B).
+    pub segment_ids: Vec<usize>,
+    /// `batch·seq` MLM targets ([`crate::IGNORE_INDEX`] on unmasked tokens).
+    pub mlm_targets: Vec<i64>,
+    /// `batch` NSP targets (0 = consecutive, 1 = random pair).
+    pub nsp_targets: Vec<i64>,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+impl PreTrainingBatch {
+    /// Number of sequences in the batch.
+    pub fn batch_size(&self) -> usize {
+        if self.seq == 0 {
+            0
+        } else {
+            self.token_ids.len() / self.seq
+        }
+    }
+}
+
+/// Losses of a pretraining forward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PreTrainingOutput {
+    /// `mlm_loss + nsp_loss` (the quantity Figure 6 plots).
+    pub total_loss: f64,
+    /// Masked-language-modeling loss.
+    pub mlm_loss: f64,
+    /// Next-sentence-prediction loss.
+    pub nsp_loss: f64,
+    /// Number of masked tokens contributing to the MLM loss.
+    pub mlm_count: usize,
+}
+
+/// BERT with the two pretraining heads: masked LM and next-sentence
+/// prediction.
+///
+/// Following the paper (§4): the MLM *transform* dense layer participates in
+/// K-FAC, but the final vocabulary-sized *decoder* is excluded ("the
+/// Kronecker factor `B_L` will be too large to construct/invert"), as is the
+/// NSP classifier which sits on a pooled single token.
+#[derive(Debug, Clone)]
+pub struct BertForPreTraining {
+    bert: BertModel,
+    mlm_transform: Linear,
+    mlm_act: Activation,
+    mlm_ln: LayerNorm,
+    mlm_decoder: Linear,
+    nsp_pooler: Linear,
+    nsp_act: Activation,
+    nsp_classifier: Linear,
+    seq: usize,
+}
+
+impl BertForPreTraining {
+    /// Builds the pretraining model.
+    pub fn new(config: BertConfig, dropout_p: f64, rng: &mut impl Rng) -> Self {
+        let d = config.d_model;
+        let v = config.vocab_size;
+        let bert = BertModel::new(config, dropout_p, rng);
+        let mut mlm_decoder = Linear::new_bert("head.mlm.decoder", d, v, rng);
+        mlm_decoder.set_kfac_enabled(false);
+        let mut nsp_classifier = Linear::new_bert("head.nsp.classifier", d, 2, rng);
+        nsp_classifier.set_kfac_enabled(false);
+        BertForPreTraining {
+            bert,
+            mlm_transform: Linear::new_bert("head.mlm.transform", d, d, rng),
+            mlm_act: Activation::new(ActivationKind::Gelu),
+            mlm_ln: LayerNorm::new("head.mlm.ln", d),
+            mlm_decoder,
+            nsp_pooler: Linear::new_bert("head.nsp.pooler", d, d, rng),
+            nsp_act: Activation::new(ActivationKind::Tanh),
+            nsp_classifier,
+            seq: 0,
+        }
+    }
+
+    /// Borrows the underlying encoder.
+    pub fn bert(&self) -> &BertModel {
+        &self.bert
+    }
+
+    /// Mutably borrows the underlying encoder.
+    pub fn bert_mut(&mut self) -> &mut BertModel {
+        &mut self.bert
+    }
+
+    /// Runs forward + backward for one batch, accumulating all gradients,
+    /// and returns the losses.
+    pub fn train_step(&mut self, batch: &PreTrainingBatch, ctx: &ForwardCtx) -> PreTrainingOutput {
+        self.seq = batch.seq;
+        let ctx = ctx.with_seq_len(batch.seq);
+        let hidden = self
+            .bert
+            .forward(&batch.token_ids, &batch.segment_ids, batch.seq, &ctx);
+        let batch_size = batch.batch_size();
+
+        // MLM head over all tokens.
+        let t = self.mlm_transform.forward(&hidden, &ctx);
+        let t = self.mlm_act.forward(&t, &ctx);
+        let t = self.mlm_ln.forward(&t, &ctx);
+        let mlm_logits = self.mlm_decoder.forward(&t, &ctx);
+        let mlm = cross_entropy_loss(&mlm_logits, &batch.mlm_targets);
+
+        // NSP head over the first token of each sequence.
+        let mut first_tokens = Matrix::zeros(batch_size, hidden.cols());
+        for b in 0..batch_size {
+            first_tokens
+                .row_mut(b)
+                .copy_from_slice(hidden.row(b * batch.seq));
+        }
+        let p = self.nsp_pooler.forward(&first_tokens, &ctx);
+        let p = self.nsp_act.forward(&p, &ctx);
+        let nsp_logits = self.nsp_classifier.forward(&p, &ctx);
+        let nsp = cross_entropy_loss(&nsp_logits, &batch.nsp_targets);
+
+        // Backward.
+        let dmlm_logits = cross_entropy_backward(&mlm_logits, &batch.mlm_targets);
+        let dt = self.mlm_decoder.backward(&dmlm_logits);
+        let dt = self.mlm_ln.backward(&dt);
+        let dt = self.mlm_act.backward(&dt);
+        let mut dhidden = self.mlm_transform.backward(&dt);
+
+        let dnsp_logits = cross_entropy_backward(&nsp_logits, &batch.nsp_targets);
+        let dp = self.nsp_classifier.backward(&dnsp_logits);
+        let dp = self.nsp_act.backward(&dp);
+        let dfirst = self.nsp_pooler.backward(&dp);
+        for b in 0..batch_size {
+            let dst = dhidden.row_mut(b * batch.seq);
+            for (d, &g) in dst.iter_mut().zip(dfirst.row(b).iter()) {
+                *d += g;
+            }
+        }
+
+        self.bert.backward(&dhidden);
+
+        PreTrainingOutput {
+            total_loss: mlm.loss + nsp.loss,
+            mlm_loss: mlm.loss,
+            nsp_loss: nsp.loss,
+            mlm_count: mlm.count,
+        }
+    }
+
+    /// Evaluates losses without touching gradients.
+    pub fn eval_loss(&mut self, batch: &PreTrainingBatch) -> PreTrainingOutput {
+        let ctx = ForwardCtx::eval().with_seq_len(batch.seq);
+        let hidden = self
+            .bert
+            .forward(&batch.token_ids, &batch.segment_ids, batch.seq, &ctx);
+        let batch_size = batch.batch_size();
+        let t = self.mlm_transform.forward(&hidden, &ctx);
+        let t = self.mlm_act.forward(&t, &ctx);
+        let t = self.mlm_ln.forward(&t, &ctx);
+        let mlm_logits = self.mlm_decoder.forward(&t, &ctx);
+        let mlm = cross_entropy_loss(&mlm_logits, &batch.mlm_targets);
+        let mut first_tokens = Matrix::zeros(batch_size, hidden.cols());
+        for b in 0..batch_size {
+            first_tokens
+                .row_mut(b)
+                .copy_from_slice(hidden.row(b * batch.seq));
+        }
+        let p = self.nsp_pooler.forward(&first_tokens, &ctx);
+        let p = self.nsp_act.forward(&p, &ctx);
+        let nsp_logits = self.nsp_classifier.forward(&p, &ctx);
+        let nsp = cross_entropy_loss(&nsp_logits, &batch.nsp_targets);
+        PreTrainingOutput {
+            total_loss: mlm.loss + nsp.loss,
+            mlm_loss: mlm.loss,
+            nsp_loss: nsp.loss,
+            mlm_count: mlm.count,
+        }
+    }
+
+    /// Visits every trainable parameter (encoder + heads).
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.bert.visit_params(f);
+        self.mlm_transform.visit_params(f);
+        self.mlm_ln.visit_params(f);
+        self.mlm_decoder.visit_params(f);
+        self.nsp_pooler.visit_params(f);
+        self.nsp_classifier.visit_params(f);
+    }
+
+    /// Visits every K-FAC-eligible [`Linear`] layer (encoder + MLM transform
+    /// + NSP pooler; the vocab decoder and NSP classifier are excluded).
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.bert.visit_linears(f);
+        f(&mut self.mlm_transform);
+        f(&mut self.nsp_pooler);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.scale_inplace(0.0));
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IGNORE_INDEX;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch(seq: usize, batch: usize, vocab: usize) -> PreTrainingBatch {
+        let n = seq * batch;
+        let token_ids: Vec<usize> = (0..n).map(|i| i % vocab).collect();
+        let segment_ids: Vec<usize> = (0..n).map(|i| ((i % seq) >= seq / 2) as usize).collect();
+        let mlm_targets: Vec<i64> = (0..n)
+            .map(|i| if i % 5 == 0 { (i % vocab) as i64 } else { IGNORE_INDEX })
+            .collect();
+        let nsp_targets: Vec<i64> = (0..batch).map(|b| (b % 2) as i64).collect();
+        PreTrainingBatch { token_ids, segment_ids, mlm_targets, nsp_targets, seq }
+    }
+
+    #[test]
+    fn train_step_produces_finite_losses_and_grads() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut model = BertForPreTraining::new(BertConfig::tiny(20, 8), 0.0, &mut rng);
+        let batch = toy_batch(8, 2, 20);
+        let out = model.train_step(&batch, &ForwardCtx::train());
+        assert!(out.total_loss.is_finite());
+        assert!(out.mlm_loss > 0.0);
+        assert!(out.nsp_loss > 0.0);
+        let mut any_grad = 0.0;
+        model.visit_params(&mut |p| any_grad += p.grad.max_abs());
+        assert!(any_grad > 0.0);
+    }
+
+    #[test]
+    fn initial_mlm_loss_near_uniform() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let vocab = 50;
+        let mut model = BertForPreTraining::new(BertConfig::tiny(vocab, 8), 0.0, &mut rng);
+        let batch = toy_batch(8, 4, vocab);
+        let out = model.eval_loss(&batch);
+        let uniform = (vocab as f64).ln();
+        assert!((out.mlm_loss - uniform).abs() < 1.0, "mlm {} vs ln V {}", out.mlm_loss, uniform);
+    }
+
+    #[test]
+    fn kfac_linears_count() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut model = BertForPreTraining::new(BertConfig::tiny(20, 8), 0.0, &mut rng);
+        let mut n = 0;
+        model.visit_linears(&mut |_l| n += 1);
+        // 2 blocks × 6 linears + transform + pooler.
+        assert_eq!(n, 14);
+    }
+
+    #[test]
+    fn decoder_is_kfac_excluded() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let mut model = BertForPreTraining::new(BertConfig::tiny(20, 8), 0.0, &mut rng);
+        let batch = toy_batch(8, 2, 20);
+        let _ = model.train_step(&batch, &ForwardCtx::train_with_capture());
+        assert!(!model.mlm_decoder.kfac_enabled());
+        assert!(model.mlm_decoder.kfac_stats().activations.is_none());
+        // But eligible layers did capture.
+        let mut captured = 0;
+        model.visit_linears(&mut |l| {
+            if l.kfac_stats().is_complete() {
+                captured += 1;
+            }
+        });
+        assert_eq!(captured, 14);
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut model = BertForPreTraining::new(BertConfig::tiny(12, 4), 0.0, &mut rng);
+        let batch = toy_batch(4, 4, 12);
+        let first = model.eval_loss(&batch).total_loss;
+        for _ in 0..30 {
+            model.zero_grad();
+            let _ = model.train_step(&batch, &ForwardCtx::train());
+            model.visit_params(&mut |p| {
+                let g = p.grad.clone();
+                p.value.axpy(-0.5, &g);
+            });
+        }
+        let last = model.eval_loss(&batch).total_loss;
+        assert!(last < first * 0.8, "loss did not drop: {first} -> {last}");
+    }
+}

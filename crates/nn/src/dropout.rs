@@ -1,0 +1,118 @@
+//! Inverted dropout.
+
+use crate::{ForwardCtx, Layer, ParamVisitor};
+use pipefisher_tensor::Matrix;
+
+/// Inverted dropout: active only when `ctx.training` is set; scales kept
+/// activations by `1/(1-p)` so inference needs no rescaling.
+///
+/// The mask is generated from an internal counter-based xorshift stream so
+/// the layer stays deterministic given its construction seed — important for
+/// replaying training runs in tests.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f64,
+    state: u64,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
+        Dropout { p, state: seed | 1, mask: None }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state as f64 / u64::MAX as f64
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        if !ctx.training || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for v in mask.as_mut_slice() {
+            *v = if self.next_uniform() < keep { scale } else { 0.0 };
+        }
+        let out = x.hadamard(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, dout: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => dout.hadamard(mask),
+            None => dout.clone(),
+        }
+    }
+
+    fn visit_params(&mut self, _f: ParamVisitor<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Matrix::full(3, 3, 2.0);
+        let y = d.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y, x);
+        let dx = d.backward(&x);
+        assert_eq!(dx, x);
+    }
+
+    #[test]
+    fn train_drops_and_rescales() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Matrix::full(50, 50, 1.0);
+        let y = d.forward(&x, &ForwardCtx::train());
+        let kept = y.as_slice().iter().filter(|&&v| v > 0.0).count();
+        // All kept values are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+        // Keep rate ≈ 0.5.
+        let rate = kept as f64 / 2500.0;
+        assert!((rate - 0.5).abs() < 0.05, "keep rate {rate}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 9);
+        let x = Matrix::full(10, 10, 1.0);
+        let y = d.forward(&x, &ForwardCtx::train());
+        let dx = d.backward(&Matrix::full(10, 10, 1.0));
+        assert_eq!(y, dx); // identical mask and scale
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Matrix::full(2, 2, 3.0);
+        assert_eq!(d.forward(&x, &ForwardCtx::train()), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! BERT input embeddings (word + position + segment).
+
+use crate::{Dropout, ForwardCtx, Layer, LayerNorm, ParamVisitor, Parameter};
+use pipefisher_tensor::{init, Matrix};
+use rand::Rng;
+
+/// BERT's input embedding stack: the sum of word, position, and segment
+/// lookups followed by LayerNorm and dropout.
+///
+/// Unlike the other layers this is not a [`Layer`]: its input is token ids,
+/// not a matrix. The paper *excludes* embedding tables from K-FAC (they are
+/// not fully-connected layers), so no capture hooks exist here; the fallback
+/// optimizer (NVLAMB) trains these parameters.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    word: Parameter,
+    position: Parameter,
+    segment: Parameter,
+    ln: LayerNorm,
+    dropout: Dropout,
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+    cached_seq: usize,
+}
+
+impl Embedding {
+    /// Creates embedding tables for `vocab_size` tokens, up to `max_seq`
+    /// positions, and 2 segments, over `d_model` features.
+    pub fn new(
+        name: &str,
+        vocab_size: usize,
+        max_seq: usize,
+        d_model: usize,
+        dropout_p: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Embedding {
+            word: Parameter::new(
+                format!("{name}.word"),
+                init::bert_normal(vocab_size, d_model, rng),
+            ),
+            position: Parameter::new(
+                format!("{name}.position"),
+                init::bert_normal(max_seq, d_model, rng),
+            ),
+            segment: Parameter::new(format!("{name}.segment"), init::bert_normal(2, d_model, rng)),
+            ln: LayerNorm::new(&format!("{name}.ln"), d_model),
+            dropout: Dropout::new(dropout_p, 0xE4B_0001),
+            cache: None,
+            cached_seq: 0,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.word.value.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn d_model(&self) -> usize {
+        self.word.value.cols()
+    }
+
+    /// Maximum sequence length supported by the position table.
+    pub fn max_seq(&self) -> usize {
+        self.position.value.rows()
+    }
+
+    /// Borrows the word-embedding table (the MLM head ties to it).
+    pub fn word_table(&self) -> &Parameter {
+        &self.word
+    }
+
+    /// Embeds `token_ids` with `segment_ids`, both of length `batch·seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, ids are out of range, or `seq` exceeds the
+    /// position table.
+    pub fn forward(
+        &mut self,
+        token_ids: &[usize],
+        segment_ids: &[usize],
+        seq: usize,
+        ctx: &ForwardCtx,
+    ) -> Matrix {
+        assert_eq!(token_ids.len(), segment_ids.len(), "Embedding: id lengths");
+        assert!(seq > 0 && token_ids.len() % seq == 0, "Embedding: rows not multiple of seq");
+        assert!(seq <= self.max_seq(), "Embedding: seq {} > max {}", seq, self.max_seq());
+        let n = token_ids.len();
+        let d = self.d_model();
+        let mut x = Matrix::zeros(n, d);
+        for (i, (&tok, &segid)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {
+            assert!(tok < self.vocab_size(), "Embedding: token id {tok} out of range");
+            assert!(segid < 2, "Embedding: segment id {segid} out of range");
+            let pos = i % seq;
+            let row = x.row_mut(i);
+            let w = self.word.value.row(tok);
+            let p = self.position.value.row(pos);
+            let s = self.segment.value.row(segid);
+            for c in 0..d {
+                row[c] = w[c] + p[c] + s[c];
+            }
+        }
+        self.cache = Some((token_ids.to_vec(), segment_ids.to_vec()));
+        self.cached_seq = seq;
+        let x = self.ln.forward(&x, ctx);
+        self.dropout.forward(&x, ctx)
+    }
+
+    /// Backpropagates into the three tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::forward`].
+    pub fn backward(&mut self, dout: &Matrix) {
+        let dout = self.dropout.backward(dout);
+        let dsum = self.ln.backward(&dout);
+        let (token_ids, segment_ids) =
+            self.cache.take().expect("Embedding::backward before forward");
+        let seq = self.cached_seq;
+        let d = self.d_model();
+        for (i, (&tok, &segid)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {
+            let pos = i % seq;
+            let g = dsum.row(i);
+            let wrow = self.word.grad.row_mut(tok);
+            for c in 0..d {
+                wrow[c] += g[c];
+            }
+            let prow = self.position.grad.row_mut(pos);
+            for c in 0..d {
+                prow[c] += g[c];
+            }
+            let srow = self.segment.grad.row_mut(segid);
+            for c in 0..d {
+                srow[c] += g[c];
+            }
+        }
+    }
+
+    /// Visits the embedding tables and LayerNorm parameters.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        f(&mut self.word);
+        f(&mut self.position);
+        f(&mut self.segment);
+        self.ln.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn emb() -> Embedding {
+        let mut rng = StdRng::seed_from_u64(31);
+        Embedding::new("emb", 10, 4, 6, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut e = emb();
+        let ids = [1usize, 2, 3, 4, 5, 6, 7, 8];
+        let segs = [0usize, 0, 1, 1, 0, 0, 1, 1];
+        let x = e.forward(&ids, &segs, 4, &ForwardCtx::eval());
+        assert_eq!(x.shape(), (8, 6));
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn same_token_same_position_same_embedding() {
+        let mut e = emb();
+        let ids = [3usize, 3, 3, 3];
+        let segs = [0usize; 4];
+        let x = e.forward(&ids, &segs, 2, &ForwardCtx::eval());
+        // Rows 0 and 2 are both (token 3, position 0, segment 0).
+        for c in 0..6 {
+            assert!((x[(0, c)] - x[(2, c)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn backward_scatters_gradients() {
+        let mut e = emb();
+        let ids = [1usize, 2];
+        let segs = [0usize, 1];
+        let _ = e.forward(&ids, &segs, 2, &ForwardCtx::train());
+        e.backward(&Matrix::full(2, 6, 1.0));
+        assert!(e.word.grad.row(1).iter().any(|&v| v != 0.0));
+        assert!(e.word.grad.row(2).iter().any(|&v| v != 0.0));
+        assert!(e.word.grad.row(0).iter().all(|&v| v == 0.0)); // untouched token
+        assert!(e.segment.grad.row(0).iter().any(|&v| v != 0.0));
+        assert!(e.segment.grad.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_token_panics() {
+        let mut e = emb();
+        let _ = e.forward(&[99], &[0], 1, &ForwardCtx::eval());
+    }
+}

@@ -1,0 +1,95 @@
+//! Position-wise feed-forward network (the transformer MLP).
+
+use crate::{Activation, ActivationKind, ForwardCtx, Layer, Linear, ParamVisitor};
+use pipefisher_tensor::Matrix;
+use rand::Rng;
+
+/// The transformer MLP: `Linear(d_model → d_ff) → GELU → Linear(d_ff → d_model)`.
+///
+/// Both linears participate in K-FAC capture; the intermediate `d_ff`
+/// expansion is where most of a transformer block's FLOPs (and K-FAC
+/// curvature cost) live.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    fc1: Linear,
+    fc2: Linear,
+    act: Activation,
+}
+
+impl FeedForward {
+    /// Creates a feed-forward block with GELU activation.
+    pub fn new(name: &str, d_model: usize, d_ff: usize, rng: &mut impl Rng) -> Self {
+        FeedForward {
+            fc1: Linear::new_bert(&format!("{name}.fc1"), d_model, d_ff, rng),
+            fc2: Linear::new_bert(&format!("{name}.fc2"), d_ff, d_model, rng),
+            act: Activation::new(ActivationKind::Gelu),
+        }
+    }
+
+    /// Intermediate (expanded) dimensionality.
+    pub fn d_ff(&self) -> usize {
+        self.fc1.d_out()
+    }
+
+    /// Visits the two [`Linear`] layers (for K-FAC).
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.fc1);
+        f(&mut self.fc2);
+    }
+}
+
+impl Layer for FeedForward {
+    fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        let h = self.fc1.forward(x, ctx);
+        let h = self.act.forward(&h, ctx);
+        self.fc2.forward(&h, ctx)
+    }
+
+    fn backward(&mut self, dout: &Matrix) -> Matrix {
+        let dh = self.fc2.backward(dout);
+        let dh = self.act.backward(&dh);
+        self.fc1.backward(&dh)
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipefisher_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ff = FeedForward::new("ff", 6, 24, &mut rng);
+        assert_eq!(ff.d_ff(), 24);
+        let x = init::normal(4, 6, 1.0, &mut rng);
+        let y = ff.forward(&x, &ForwardCtx::train());
+        assert_eq!(y.shape(), (4, 6));
+        let dx = ff.backward(&Matrix::full(4, 6, 1.0));
+        assert_eq!(dx.shape(), (4, 6));
+    }
+
+    #[test]
+    fn has_two_kfac_linears() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ff = FeedForward::new("ff", 4, 8, &mut rng);
+        let mut count = 0;
+        ff.visit_linears(&mut |_l: &mut Linear| count += 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ff = FeedForward::new("ff", 4, 8, &mut rng);
+        // fc1: 4*8 + 8, fc2: 8*4 + 4
+        assert_eq!(ff.num_params(), 32 + 8 + 32 + 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fully-connected layer with K-FAC statistics capture.
+
+use crate::{ForwardCtx, Layer, ParamVisitor, Parameter};
+use pipefisher_tensor::{col_sum, init, Matrix};
+use rand::Rng;
+
+/// Per-mini-batch K-FAC statistics captured by a [`Linear`] layer.
+///
+/// `activations` holds one row per token: the layer input `a_l` augmented
+/// with a trailing constant `1` (homogeneous coordinates), so the Kronecker
+/// factor `A_l = U_Aᵀ U_A / n` covers the bias as well, matching common
+/// K-FAC implementations. `errors` holds one row per token: the gradient of
+/// the *sum* loss with respect to the layer's pre-activation output `e_l`.
+#[derive(Debug, Clone, Default)]
+pub struct KfacBatchStats {
+    /// `n_tokens × (d_in + 1)` bias-augmented input activations.
+    pub activations: Option<Matrix>,
+    /// `n_tokens × d_out` output-gradient error signals.
+    pub errors: Option<Matrix>,
+}
+
+impl KfacBatchStats {
+    /// Whether both factors' statistics are present.
+    pub fn is_complete(&self) -> bool {
+        self.activations.is_some() && self.errors.is_some()
+    }
+
+    /// Clears both captures.
+    pub fn clear(&mut self) {
+        self.activations = None;
+        self.errors = None;
+    }
+}
+
+/// A fully-connected layer `y = x·W + b` with optional K-FAC capture.
+///
+/// Weight is stored `d_in × d_out` so the forward pass is a plain row-major
+/// GEMM over token-major inputs.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_nn::{ForwardCtx, Layer, Linear};
+/// use pipefisher_tensor::Matrix;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut lin = Linear::new("fc", 3, 5, &mut rng);
+/// let y = lin.forward(&Matrix::zeros(2, 3), &ForwardCtx::train_with_capture());
+/// assert_eq!(y.shape(), (2, 5));
+/// assert!(lin.kfac_stats().activations.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    input: Option<Matrix>,
+    stats: KfacBatchStats,
+    /// Layers excluded from K-FAC (e.g. the vocab-sized LM head, paper §4)
+    /// never capture statistics even when the context asks for it.
+    kfac_enabled: bool,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(name: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+        let weight = Parameter::new(format!("{name}.weight"), init::xavier_uniform(d_in, d_out, rng));
+        let bias = Parameter::new(format!("{name}.bias"), Matrix::zeros(1, d_out));
+        Linear { weight, bias, input: None, stats: KfacBatchStats::default(), kfac_enabled: true }
+    }
+
+    /// Creates a layer with BERT-style `N(0, 0.02²)` weights and zero bias.
+    pub fn new_bert(name: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
+        let weight = Parameter::new(format!("{name}.weight"), init::bert_normal(d_in, d_out, rng));
+        let bias = Parameter::new(format!("{name}.bias"), Matrix::zeros(1, d_out));
+        Linear { weight, bias, input: None, stats: KfacBatchStats::default(), kfac_enabled: true }
+    }
+
+    /// Disables K-FAC capture for this layer (used for the final
+    /// classification head whose `B_L` factor would be vocabulary-sized).
+    pub fn set_kfac_enabled(&mut self, enabled: bool) {
+        self.kfac_enabled = enabled;
+        if !enabled {
+            self.stats.clear();
+        }
+    }
+
+    /// Whether this layer participates in K-FAC.
+    pub fn kfac_enabled(&self) -> bool {
+        self.kfac_enabled
+    }
+
+    /// Unique name of this layer (the weight parameter's name without the
+    /// trailing `.weight`).
+    pub fn name(&self) -> &str {
+        self.weight.name.strip_suffix(".weight").unwrap_or(&self.weight.name)
+    }
+
+    /// Input dimensionality.
+    pub fn d_in(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn d_out(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Borrows the weight parameter.
+    pub fn weight(&self) -> &Parameter {
+        &self.weight
+    }
+
+    /// Mutably borrows the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Parameter {
+        &mut self.weight
+    }
+
+    /// Borrows the bias parameter.
+    pub fn bias(&self) -> &Parameter {
+        &self.bias
+    }
+
+    /// Mutably borrows the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Parameter {
+        &mut self.bias
+    }
+
+    /// Borrows the captured K-FAC statistics of the last captured pass.
+    pub fn kfac_stats(&self) -> &KfacBatchStats {
+        &self.stats
+    }
+
+    /// Mutably borrows the captured K-FAC statistics (the optimizer clears
+    /// them after consuming).
+    pub fn kfac_stats_mut(&mut self) -> &mut KfacBatchStats {
+        &mut self.stats
+    }
+
+    /// Simultaneous mutable access to weight, bias, and captured stats —
+    /// needed by the K-FAC optimizer, which reads stats while rewriting the
+    /// parameter gradients.
+    pub fn kfac_parts_mut(&mut self) -> (&mut Parameter, &mut Parameter, &mut KfacBatchStats) {
+        (&mut self.weight, &mut self.bias, &mut self.stats)
+    }
+
+    fn capture_activations(&mut self, x: &Matrix) {
+        let (n, d) = x.shape();
+        let mut aug = Matrix::zeros(n, d + 1);
+        for r in 0..n {
+            let dst = aug.row_mut(r);
+            dst[..d].copy_from_slice(x.row(r));
+            dst[d] = 1.0;
+        }
+        self.stats.activations = Some(aug);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        assert_eq!(x.cols(), self.d_in(), "Linear {}: input dim", self.name());
+        if ctx.capture_kfac && self.kfac_enabled {
+            self.capture_activations(x);
+        }
+        self.input = Some(x.clone());
+        let mut y = x.matmul(&self.weight.value);
+        y.add_row_broadcast(self.bias.value.row(0));
+        y
+    }
+
+    fn backward(&mut self, dout: &Matrix) -> Matrix {
+        let x = self.input.as_ref().expect("Linear::backward before forward");
+        assert_eq!(dout.shape(), (x.rows(), self.d_out()), "Linear {}: dout shape", self.name());
+        if self.kfac_enabled && self.stats.activations.is_some() {
+            self.stats.errors = Some(dout.clone());
+        }
+        // dW = xᵀ·dout, db = column sums, dx = dout·Wᵀ.
+        let dw = x.matmul_tn(dout);
+        self.weight.accumulate_grad(&dw);
+        let db = Matrix::from_vec(1, self.d_out(), col_sum(dout));
+        self.bias.accumulate_grad(&db);
+        dout.matmul_nt(&self.weight.value)
+    }
+
+    fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Linear {
+        let mut rng = StdRng::seed_from_u64(3);
+        Linear::new("fc", 3, 2, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut lin = layer();
+        lin.weight_mut().value = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        lin.bias_mut().value = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let y = lin.forward(&x, &ForwardCtx::eval());
+        assert_eq!(y[(0, 0)], 1.0 + 3.0 + 0.5);
+        assert_eq!(y[(0, 1)], 2.0 + 3.0 - 0.5);
+    }
+
+    #[test]
+    fn backward_accumulates_grads() {
+        let mut lin = layer();
+        let x = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[2.0, 1.0, 0.0]]);
+        let _ = lin.forward(&x, &ForwardCtx::train());
+        let dout = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let dx = lin.backward(&dout);
+        assert_eq!(dx.shape(), (2, 3));
+        // dW = xᵀ·dout
+        assert_eq!(lin.weight().grad[(0, 0)], 1.0);
+        assert_eq!(lin.weight().grad[(0, 1)], 2.0);
+        // db = col sums of dout
+        assert_eq!(lin.bias().grad[(0, 0)], 1.0);
+        assert_eq!(lin.bias().grad[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn capture_is_bias_augmented() {
+        let mut lin = layer();
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let _ = lin.forward(&x, &ForwardCtx::train_with_capture());
+        let a = lin.kfac_stats().activations.as_ref().unwrap();
+        assert_eq!(a.shape(), (1, 4));
+        assert_eq!(a[(0, 3)], 1.0);
+        let dout = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let _ = lin.backward(&dout);
+        assert!(lin.kfac_stats().is_complete());
+        assert_eq!(lin.kfac_stats().errors.as_ref().unwrap()[(0, 1)], -1.0);
+    }
+
+    #[test]
+    fn disabled_layer_never_captures() {
+        let mut lin = layer();
+        lin.set_kfac_enabled(false);
+        let x = Matrix::zeros(2, 3);
+        let _ = lin.forward(&x, &ForwardCtx::train_with_capture());
+        assert!(lin.kfac_stats().activations.is_none());
+    }
+
+    #[test]
+    fn no_capture_without_flag() {
+        let mut lin = layer();
+        let _ = lin.forward(&Matrix::zeros(2, 3), &ForwardCtx::train());
+        assert!(lin.kfac_stats().activations.is_none());
+    }
+
+    #[test]
+    fn param_visitation_and_count() {
+        let mut lin = layer();
+        assert_eq!(lin.num_params(), 3 * 2 + 2);
+        let mut names = Vec::new();
+        lin.visit_params(&mut |p: &mut Parameter| names.push(p.name.clone()));
+        assert_eq!(names, vec!["fc.weight", "fc.bias"]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Softmax cross-entropy loss with ignore-index support.
+
+use pipefisher_tensor::{log_softmax, softmax, Matrix};
+
+/// Target value meaning "exclude this row from the loss" (PyTorch's -100
+/// convention, used for non-masked tokens in masked language modeling).
+pub const IGNORE_INDEX: i64 = -100;
+
+/// Result of a cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyResult {
+    /// Mean negative log-likelihood over non-ignored rows (0 if none).
+    pub loss: f64,
+    /// Number of rows that contributed to the loss.
+    pub count: usize,
+}
+
+/// Computes mean cross-entropy of `logits` (`n × classes`) against `targets`
+/// (`n` entries, each a class index or [`IGNORE_INDEX`]).
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a non-ignored target is out of range.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_nn::{cross_entropy_loss, IGNORE_INDEX};
+/// use pipefisher_tensor::Matrix;
+///
+/// let logits = Matrix::from_rows(&[&[10.0, 0.0], &[0.0, 10.0]]);
+/// let r = cross_entropy_loss(&logits, &[0, IGNORE_INDEX]);
+/// assert!(r.loss < 1e-3);
+/// assert_eq!(r.count, 1);
+/// ```
+pub fn cross_entropy_loss(logits: &Matrix, targets: &[i64]) -> CrossEntropyResult {
+    assert_eq!(logits.rows(), targets.len(), "cross_entropy: row count");
+    let lp = log_softmax(logits);
+    let mut total = 0.0;
+    let mut count = 0;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        let t = usize::try_from(t).expect("cross_entropy: negative target");
+        assert!(t < logits.cols(), "cross_entropy: target {t} out of range");
+        total -= lp[(r, t)];
+        count += 1;
+    }
+    CrossEntropyResult { loss: if count > 0 { total / count as f64 } else { 0.0 }, count }
+}
+
+/// Gradient of the mean cross-entropy w.r.t. `logits`:
+/// `(softmax(logits) − one_hot(target)) / count` on contributing rows, zero
+/// on ignored rows.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a non-ignored target is out of range.
+pub fn cross_entropy_backward(logits: &Matrix, targets: &[i64]) -> Matrix {
+    assert_eq!(logits.rows(), targets.len(), "cross_entropy_backward: row count");
+    let count = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    if count == 0 {
+        return grad;
+    }
+    let p = softmax(logits);
+    let inv = 1.0 / count as f64;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_INDEX {
+            continue;
+        }
+        let t = usize::try_from(t).expect("cross_entropy_backward: negative target");
+        assert!(t < logits.cols(), "cross_entropy_backward: target {t} out of range");
+        let dst = grad.row_mut(r);
+        dst.copy_from_slice(p.row(r));
+        for v in dst.iter_mut() {
+            *v *= inv;
+        }
+        dst[t] -= inv;
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_near_zero_loss() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0, 0.0]]);
+        let r = cross_entropy_loss(&logits, &[0]);
+        assert!(r.loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_is_log_classes() {
+        let logits = Matrix::zeros(4, 8);
+        let r = cross_entropy_loss(&logits, &[0, 1, 2, 3]);
+        assert!((r.loss - (8.0f64).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ignored_rows_do_not_contribute() {
+        let logits = Matrix::from_rows(&[&[0.0, 5.0], &[9.0, 0.0]]);
+        let half = cross_entropy_loss(&logits, &[1, IGNORE_INDEX]);
+        assert_eq!(half.count, 1);
+        // Ignoring row 1 must give exactly the loss of row 0 alone.
+        let row0 = cross_entropy_loss(&logits.slice_rows(0, 1), &[1]);
+        assert!((half.loss - row0.loss).abs() < 1e-12);
+        let g = cross_entropy_backward(&logits, &[1, IGNORE_INDEX]);
+        assert!(g.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[0.0, 0.1, -0.2]]);
+        let targets = [2, 0];
+        let g = cross_entropy_backward(&logits, &targets);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp[(r, c)] += eps;
+                let mut lm = logits.clone();
+                lm[(r, c)] -= eps;
+                let num = (cross_entropy_loss(&lp, &targets).loss
+                    - cross_entropy_loss(&lm, &targets).loss)
+                    / (2.0 * eps);
+                assert!((g[(r, c)] - num).abs() < 1e-8, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let g = cross_entropy_backward(&logits, &[1]);
+        let s: f64 = g.row(0).iter().sum();
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ignored_is_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let r = cross_entropy_loss(&logits, &[IGNORE_INDEX]);
+        assert_eq!(r.loss, 0.0);
+        assert_eq!(r.count, 0);
+        let g = cross_entropy_backward(&logits, &[IGNORE_INDEX]);
+        assert_eq!(g.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,662 @@
+//! K-FAC: Kronecker-Factored Approximate Curvature (paper §2.3).
+//!
+//! The optimizer maintains, per eligible [`Linear`] layer, the Kronecker
+//! factors of the layerwise empirical Fisher block:
+//!
+//! * `A_l = ⟨â_l â_lᵀ⟩` — Gram matrix of bias-augmented input activations
+//!   (**curvature work**, one GEMM per layer),
+//! * `B_l = ⟨e_l e_lᵀ⟩` — Gram matrix of output-gradient error signals
+//!   (**curvature work**, one GEMM per layer),
+//! * `(A_l + λ_A I)⁻¹`, `(B_l + λ_B I)⁻¹` — damped Cholesky inverses
+//!   (**inversion work**, two factorizations per layer),
+//!
+//! and applies the preconditioned gradient `B_l⁻¹ Ḡ_l A_l⁻¹`
+//! (**precondition work**, two GEMMs per layer) every step — possibly with
+//! *stale* factors/inverses, exactly as PipeFisher does when curvature and
+//! inversion work is spread over several pipeline steps' bubbles.
+//!
+//! Damping is split between the factors with the standard π-correction
+//! (`λ_A = λ·√π`, `λ_B = λ/√π`, `π = √((tr A / dim A)/(tr B / dim B))`).
+
+use crate::Optimizer;
+use pipefisher_nn::{Linear, ParamVisitor, Parameter};
+use pipefisher_tensor::{cholesky_inverse, Matrix};
+use std::collections::HashMap;
+
+/// Hyperparameters for [`Kfac`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KfacConfig {
+    /// Base damping λ added (π-split) to the factor diagonals.
+    pub damping: f64,
+    /// Exponential moving-average decay ρ for factor accumulation
+    /// (`A ← ρ·A + (1−ρ)·A_batch`); `0.0` replaces the factor each refresh.
+    pub ema_decay: f64,
+    /// Refresh the Kronecker factors every this many steps (paper: 1–10 with
+    /// PipeFisher, ~100 in prior distributed K-FAC).
+    pub curvature_interval: usize,
+    /// Refresh the inverses every this many steps.
+    pub inversion_interval: usize,
+    /// Optional KL-style clipping constant κ: the preconditioned gradients
+    /// of all K-FAC layers are rescaled by `min(1, √(κ / (lr²·Σ gᵀg̃)))`,
+    /// bounding the (approximate) KL step size as in KAISA.
+    pub kl_clip: Option<f64>,
+    /// Appendix A.2: approximate each Kronecker factor larger than this by
+    /// a block-diagonal matrix with blocks of at most this size, so very
+    /// wide layers (`d_ff` of scaled-up Transformers) keep per-piece
+    /// inversion work bounded. `None` keeps full factors.
+    pub factor_block_size: Option<usize>,
+}
+
+impl Default for KfacConfig {
+    fn default() -> Self {
+        KfacConfig {
+            damping: 1e-3,
+            ema_decay: 0.0,
+            curvature_interval: 1,
+            inversion_interval: 1,
+            kl_clip: Some(1e-3),
+            factor_block_size: None,
+        }
+    }
+}
+
+/// Zeroes every entry of `m` outside the diagonal blocks of `block_size`
+/// (the Appendix A.2 block-diagonal approximation). The damped inverse of
+/// the result is then itself block-diagonal, so a full Cholesky of the
+/// masked matrix computes exactly the per-block inverses.
+fn block_diagonal_mask(m: &mut Matrix, block_size: usize) {
+    let n = m.rows();
+    if block_size == 0 || block_size >= n {
+        return;
+    }
+    for i in 0..n {
+        let bi = i / block_size;
+        for j in 0..n {
+            if j / block_size != bi {
+                m[(i, j)] = 0.0;
+            }
+        }
+    }
+}
+
+/// Per-layer K-FAC state: factors, inverses, and staleness bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct LayerKfacState {
+    /// Kronecker factor over inputs, `(d_in+1) × (d_in+1)`.
+    pub factor_a: Option<Matrix>,
+    /// Kronecker factor over output errors, `d_out × d_out`.
+    pub factor_b: Option<Matrix>,
+    /// Damped inverse of `factor_a`.
+    pub inv_a: Option<Matrix>,
+    /// Damped inverse of `factor_b`.
+    pub inv_b: Option<Matrix>,
+    /// Step at which the factors were last refreshed.
+    pub last_curvature_step: u64,
+    /// Step at which the inverses were last refreshed.
+    pub last_inversion_step: u64,
+}
+
+impl LayerKfacState {
+    /// Whether preconditioning is possible (both inverses exist).
+    pub fn ready(&self) -> bool {
+        self.inv_a.is_some() && self.inv_b.is_some()
+    }
+}
+
+/// A model trainable by [`Kfac`]: exposes its K-FAC-eligible linear layers
+/// and all of its parameters.
+pub trait KfacModel {
+    /// Visits every K-FAC-eligible [`Linear`] layer.
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear));
+
+    /// Visits every trainable parameter (including non-K-FAC ones).
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>);
+}
+
+impl KfacModel for pipefisher_nn::BertForPreTraining {
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.visit_linears(f);
+    }
+
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>) {
+        self.visit_params(f);
+    }
+}
+
+impl KfacModel for pipefisher_nn::BertModel {
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.visit_linears(f);
+    }
+
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>) {
+        self.visit_params(f);
+    }
+}
+
+impl KfacModel for pipefisher_nn::GptForCausalLm {
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.visit_linears(f);
+    }
+
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>) {
+        self.visit_params(f);
+    }
+}
+
+impl KfacModel for Linear {
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(self);
+    }
+
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>) {
+        use pipefisher_nn::Layer as _;
+        self.visit_params(f);
+    }
+}
+
+/// The K-FAC optimizer, wrapping a fallback first-order optimizer.
+///
+/// One [`Kfac::step`]:
+///
+/// 1. **Curvature** (if due): fold each layer's captured `(â_l, e_l)` batch
+///    statistics into `A_l`, `B_l`.
+/// 2. **Inversion** (if due): damped Cholesky inverses of both factors.
+/// 3. **Precondition** (every step): rewrite each K-FAC layer's gradient to
+///    `B_l⁻¹ Ḡ_l A_l⁻¹` using the freshest available (possibly stale)
+///    inverses, then apply optional KL clipping.
+/// 4. Run the fallback optimizer over *all* parameters — K-FAC layers see
+///    preconditioned gradients, everything else (embeddings, LayerNorms, the
+///    vocab head) sees raw gradients, matching the paper's "K-FAC for all
+///    fully-connected layers, NVLAMB for the rest" setup.
+#[derive(Debug, Clone)]
+pub struct Kfac<O: Optimizer> {
+    config: KfacConfig,
+    fallback: O,
+    states: HashMap<String, LayerKfacState>,
+    t: u64,
+}
+
+impl<O: Optimizer> Kfac<O> {
+    /// Creates a K-FAC optimizer over the given fallback.
+    pub fn new(config: KfacConfig, fallback: O) -> Self {
+        Kfac { config, fallback, states: HashMap::new(), t: 0 }
+    }
+
+    /// Current step count.
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Borrows the per-layer state (for inspection in tests/experiments).
+    pub fn state(&self, layer_name: &str) -> Option<&LayerKfacState> {
+        self.states.get(layer_name)
+    }
+
+    /// Mutably borrows the per-layer state, creating it if absent. Exposed
+    /// so experiments can inject externally computed factors (e.g. the
+    /// pipeline simulator's staleness model).
+    pub fn state_mut(&mut self, layer_name: &str) -> &mut LayerKfacState {
+        self.states.entry(layer_name.to_string()).or_default()
+    }
+
+    /// Runs one optimization step. See the type-level docs for the phases.
+    pub fn step(&mut self, model: &mut dyn KfacModel, lr: f64) {
+        self.t += 1;
+        let t = self.t;
+        let refresh_curv = (t - 1) % self.config.curvature_interval as u64 == 0;
+        let refresh_inv = (t - 1) % self.config.inversion_interval as u64 == 0;
+
+        // Phase 1+2: curvature and inversion.
+        let states = &mut self.states;
+        let config = &self.config;
+        model.visit_kfac_linears(&mut |lin: &mut Linear| {
+            let state = states.entry(lin.name().to_string()).or_default();
+            if refresh_curv {
+                update_curvature(state, lin, config.ema_decay, t);
+            }
+            lin.kfac_stats_mut().clear();
+            if refresh_inv && state.factor_a.is_some() {
+                update_inverses(state, config.damping, config.factor_block_size, t);
+            }
+        });
+
+        // Phase 3: precondition. First pass rewrites gradients and collects
+        // the KL-clip statistic Σ ⟨g, g̃⟩; second pass applies the scale.
+        let mut vsum = 0.0;
+        model.visit_kfac_linears(&mut |lin: &mut Linear| {
+            let state = states.entry(lin.name().to_string()).or_default();
+            if state.ready() {
+                vsum += precondition(state, lin);
+            }
+        });
+        if let Some(kappa) = self.config.kl_clip {
+            let denom = lr * lr * vsum;
+            if denom > kappa {
+                let scale = (kappa / denom).sqrt();
+                model.visit_kfac_linears(&mut |lin: &mut Linear| {
+                    let state = states.entry(lin.name().to_string()).or_default();
+                    if state.ready() {
+                        let (w, b, _) = lin.kfac_parts_mut();
+                        w.grad.scale_inplace(scale);
+                        b.grad.scale_inplace(scale);
+                    }
+                });
+            }
+        }
+
+        // Phase 4: fallback update over all parameters.
+        self.fallback.begin_step();
+        let fallback = &mut self.fallback;
+        model.visit_all_params(&mut |p: &mut Parameter| fallback.step_param(p, lr));
+    }
+}
+
+/// Folds a layer's captured batch statistics into its Kronecker factors.
+fn update_curvature(state: &mut LayerKfacState, lin: &mut Linear, ema_decay: f64, t: u64) {
+    let stats = lin.kfac_stats();
+    let (Some(acts), Some(errs)) = (&stats.activations, &stats.errors) else {
+        return; // nothing captured this step
+    };
+    let n = acts.rows().max(1) as f64;
+    // A = âᵀâ / n (mean over tokens). The backward pass propagates mean-loss
+    // gradients, so per-token error signals carry a 1/n factor; B = n·eᵀe
+    // restores the ⟨e eᵀ⟩ scale of the sum-loss errors the paper defines.
+    // (Any fixed rescaling is absorbed into damping/lr; we pick the
+    // convention used by KAISA and kfac-pytorch.)
+    let mut a_batch = acts.gram();
+    a_batch.scale_inplace(1.0 / n);
+    let mut b_batch = errs.gram();
+    b_batch.scale_inplace(n);
+
+    let fold = |old: &mut Option<Matrix>, batch: Matrix| {
+        *old = Some(match old.take() {
+            Some(mut prev) if ema_decay > 0.0 => {
+                prev.scale_inplace(ema_decay);
+                prev.axpy(1.0 - ema_decay, &batch);
+                prev
+            }
+            _ => batch,
+        });
+    };
+    fold(&mut state.factor_a, a_batch);
+    fold(&mut state.factor_b, b_batch);
+    state.last_curvature_step = t;
+}
+
+/// Recomputes the damped inverses of both factors (π-split damping),
+/// optionally after the Appendix A.2 block-diagonal masking.
+fn update_inverses(state: &mut LayerKfacState, damping: f64, block_size: Option<usize>, t: u64) {
+    let (Some(fa), Some(fb)) = (&state.factor_a, &state.factor_b) else {
+        return;
+    };
+    let tr_a = fa.trace().max(f64::MIN_POSITIVE);
+    let tr_b = fb.trace().max(f64::MIN_POSITIVE);
+    let mean_a = tr_a / fa.rows() as f64;
+    let mean_b = tr_b / fb.rows() as f64;
+    let pi = (mean_a / mean_b).sqrt().clamp(1e-6, 1e6);
+    let lam_a = damping * pi;
+    let lam_b = damping / pi;
+
+    let mut da = fa.clone();
+    let mut db = fb.clone();
+    if let Some(bs) = block_size {
+        block_diagonal_mask(&mut da, bs);
+        block_diagonal_mask(&mut db, bs);
+    }
+    da.add_diag(lam_a.max(1e-12));
+    db.add_diag(lam_b.max(1e-12));
+    // Damped Gram matrices are SPD by construction; escalate damping on the
+    // (numerically pathological) failure path rather than crash training.
+    let inv_a = cholesky_inverse(&da).or_else(|_| {
+        da.add_diag(damping * 10.0);
+        cholesky_inverse(&da)
+    });
+    let inv_b = cholesky_inverse(&db).or_else(|_| {
+        db.add_diag(damping * 10.0);
+        cholesky_inverse(&db)
+    });
+    if let (Ok(ia), Ok(ib)) = (inv_a, inv_b) {
+        state.inv_a = Some(ia);
+        state.inv_b = Some(ib);
+        state.last_inversion_step = t;
+    }
+}
+
+/// Rewrites the layer gradient to `B⁻¹ Ḡ A⁻¹`; returns `⟨g, g̃⟩` for clipping.
+///
+/// `Ḡ` is the `d_out × (d_in+1)` combined weight/bias gradient in the
+/// paper's orientation (outputs × augmented inputs); our storage keeps the
+/// weight `d_in × d_out`, so we transpose on the way in and out.
+fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
+    let d_in = lin.d_in();
+    let d_out = lin.d_out();
+    let (w, b, _) = lin.kfac_parts_mut();
+
+    let mut gbar = Matrix::zeros(d_out, d_in + 1);
+    for o in 0..d_out {
+        let row = gbar.row_mut(o);
+        for i in 0..d_in {
+            row[i] = w.grad[(i, o)];
+        }
+        row[d_in] = b.grad[(0, o)];
+    }
+
+    let inv_a = state.inv_a.as_ref().expect("precondition: inv_a");
+    let inv_b = state.inv_b.as_ref().expect("precondition: inv_b");
+    let pre = inv_b.matmul(&gbar).matmul(inv_a);
+    let dot = gbar.dot(&pre);
+
+    for o in 0..d_out {
+        let row = pre.row(o);
+        for i in 0..d_in {
+            w.grad[(i, o)] = row[i];
+        }
+        b.grad[(0, o)] = row[d_in];
+    }
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+    use pipefisher_nn::{
+        cross_entropy_backward, cross_entropy_loss, ForwardCtx, Layer,
+    };
+    use pipefisher_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Explicit Kronecker product for validation.
+    fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+        let (ar, ac) = a.shape();
+        let (br, bc) = b.shape();
+        let mut out = Matrix::zeros(ar * br, ac * bc);
+        for i in 0..ar {
+            for j in 0..ac {
+                for p in 0..br {
+                    for q in 0..bc {
+                        out[(i * br + p, j * bc + q)] = a[(i, j)] * b[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Column-stacking vec of a matrix.
+    fn vec_cols(m: &Matrix) -> Vec<f64> {
+        let mut v = Vec::with_capacity(m.len());
+        for c in 0..m.cols() {
+            for r in 0..m.rows() {
+                v.push(m[(r, c)]);
+            }
+        }
+        v
+    }
+
+    fn rand_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = init::normal(n, n, 1.0, &mut rng);
+        let mut spd = m.matmul_tn(&m);
+        spd.add_diag(0.5);
+        spd
+    }
+
+    #[test]
+    fn kronecker_inverse_identity() {
+        // vec(B⁻¹·G·A⁻¹) == (A ⊗ B)⁻¹ vec(G) for symmetric A, B
+        // (column-stacking vec) — the identity K-FAC preconditioning rests on.
+        let a = rand_spd(3, 1);
+        let b = rand_spd(2, 2);
+        let g = init::normal(2, 3, 1.0, &mut StdRng::seed_from_u64(3));
+        let ia = cholesky_inverse(&a).unwrap();
+        let ib = cholesky_inverse(&b).unwrap();
+
+        let lhs = ib.matmul(&g).matmul(&ia);
+        let kron_inv = cholesky_inverse(&kron(&a, &b)).unwrap();
+        let rhs_vec = kron_inv.matvec(&vec_cols(&g));
+        let lhs_vec = vec_cols(&lhs);
+        for (x, y) in lhs_vec.iter().zip(rhs_vec.iter()) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn identity_factors_leave_gradient_unchanged() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lin = Linear::new("fc", 3, 2, &mut rng);
+        lin.weight_mut().grad = init::normal(3, 2, 1.0, &mut rng);
+        lin.bias_mut().grad = init::normal(1, 2, 1.0, &mut rng);
+        let orig_w = lin.weight().grad.clone();
+        let orig_b = lin.bias().grad.clone();
+
+        let state = LayerKfacState {
+            inv_a: Some(Matrix::eye(4)),
+            inv_b: Some(Matrix::eye(2)),
+            ..Default::default()
+        };
+        let _ = precondition(&state, &mut lin);
+        assert!((&lin.weight().grad - &orig_w).max_abs() < 1e-12);
+        assert!((&lin.bias().grad - &orig_b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_identity_rescales_gradient() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lin = Linear::new("fc", 3, 2, &mut rng);
+        lin.weight_mut().grad = Matrix::full(3, 2, 4.0);
+        lin.bias_mut().grad = Matrix::full(1, 2, 4.0);
+        let state = LayerKfacState {
+            inv_a: Some(Matrix::eye(4).scale(0.5)),
+            inv_b: Some(Matrix::eye(2).scale(0.5)),
+            ..Default::default()
+        };
+        let _ = precondition(&state, &mut lin);
+        assert!((lin.weight().grad[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((lin.bias().grad[(0, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_example_factors_match_definition() {
+        // With a single example the Kronecker factorization is exact:
+        // A = â âᵀ, B = e eᵀ (paper §2.3). Check the captured statistics
+        // produce exactly those rank-1 factors.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lin = Linear::new("fc", 3, 4, &mut rng);
+        let x = init::normal(1, 3, 1.0, &mut rng);
+        let y = lin.forward(&x, &ForwardCtx::train_with_capture());
+        let dlogits = cross_entropy_backward(&y, &[2]);
+        let _ = lin.backward(&dlogits);
+
+        let mut state = LayerKfacState::default();
+        update_curvature(&mut state, &mut lin, 0.0, 1);
+        let a = state.factor_a.unwrap();
+        let b = state.factor_b.unwrap();
+        // A[i][j] == â_i · â_j with â = [x, 1]
+        let mut aug = x.clone().into_vec();
+        aug.push(1.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[(i, j)] - aug[i] * aug[j]).abs() < 1e-12);
+            }
+        }
+        // B == e eᵀ (n=1 so the n·eᵀe scaling is neutral)
+        let e = dlogits.row(0);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((b[(i, j)] - e[i] * e[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn kfac_beats_sgd_on_ill_conditioned_regression() {
+        // Multiclass logistic regression with wildly different feature
+        // scales: K-FAC's input-factor whitening should converge far faster
+        // than SGD at the same learning rate.
+        let n = 64;
+        let d = 6;
+        let classes = 4;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut x = init::normal(n, d, 1.0, &mut rng);
+        // Scale features by powers of 4 → condition number 4^(d-1).
+        for r in 0..n {
+            for c in 0..d {
+                x[(r, c)] *= 4.0_f64.powi(c as i32);
+            }
+        }
+        let targets: Vec<i64> = (0..n).map(|i| (i % classes) as i64).collect();
+
+        let run = |use_kfac: bool| -> f64 {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut lin = Linear::new("fc", d, classes, &mut rng);
+            let mut sgd = Sgd::new(0.0, 0.0);
+            let mut kfac = Kfac::new(
+                KfacConfig { damping: 1e-2, kl_clip: None, ..Default::default() },
+                Sgd::new(0.0, 0.0),
+            );
+            let mut loss = f64::NAN;
+            for _ in 0..40 {
+                use pipefisher_nn::Layer as _;
+                lin.zero_grad();
+                let ctx = if use_kfac {
+                    ForwardCtx::train_with_capture()
+                } else {
+                    ForwardCtx::train()
+                };
+                let logits = lin.forward(&x, &ctx);
+                loss = cross_entropy_loss(&logits, &targets).loss;
+                let d = cross_entropy_backward(&logits, &targets);
+                let _ = lin.backward(&d);
+                if use_kfac {
+                    kfac.step(&mut lin, 0.5);
+                } else {
+                    sgd.begin_step();
+                    use pipefisher_nn::Layer as _;
+                    lin.visit_params(&mut |p| sgd.step_param(p, 0.5));
+                }
+            }
+            loss
+        };
+
+        let sgd_loss = run(false);
+        let kfac_loss = run(true);
+        assert!(
+            kfac_loss < sgd_loss * 0.5,
+            "kfac {kfac_loss} not clearly better than sgd {sgd_loss}"
+        );
+    }
+
+    #[test]
+    fn stale_inverses_are_used_between_refreshes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lin = Linear::new("fc", 3, 2, &mut rng);
+        let x = init::normal(8, 3, 1.0, &mut rng);
+        let targets: Vec<i64> = (0..8).map(|i| (i % 2) as i64).collect();
+        let mut kfac = Kfac::new(
+            KfacConfig {
+                curvature_interval: 3,
+                inversion_interval: 3,
+                ..Default::default()
+            },
+            Sgd::new(0.0, 0.0),
+        );
+        for step in 0..5u64 {
+            use pipefisher_nn::Layer as _;
+            lin.zero_grad();
+            let logits = lin.forward(&x, &ForwardCtx::train_with_capture());
+            let d = cross_entropy_backward(&logits, &targets);
+            let _ = lin.backward(&d);
+            kfac.step(&mut lin, 0.1);
+            let st = kfac.state("fc").unwrap();
+            // Refresh steps are 1 and 4 (t−1 divisible by 3).
+            let expected = if step < 3 { 1 } else { 4 };
+            assert_eq!(st.last_inversion_step, expected, "step {step}");
+            assert!(st.ready());
+        }
+    }
+
+    #[test]
+    fn block_diagonal_factors_invert_blockwise() {
+        // With block size 2, the inverse of the masked factor must itself be
+        // block-diagonal, and each block must equal the inverse of the
+        // corresponding (damped) sub-block.
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut lin = Linear::new("fc", 3, 4, &mut rng); // A is 4×4 (bias-aug)
+        let x = init::normal(16, 3, 1.0, &mut rng);
+        let targets: Vec<i64> = (0..16).map(|i| (i % 4) as i64).collect();
+        let mut kfac = Kfac::new(
+            KfacConfig { factor_block_size: Some(2), damping: 1e-2, ..Default::default() },
+            crate::Sgd::new(0.0, 0.0),
+        );
+        use pipefisher_nn::Layer as _;
+        lin.zero_grad();
+        let logits = lin.forward(&x, &ForwardCtx::train_with_capture());
+        let d = cross_entropy_backward(&logits, &targets);
+        let _ = lin.backward(&d);
+        kfac.step(&mut lin, 0.1);
+        let st = kfac.state("fc").unwrap();
+        let inv_a = st.inv_a.as_ref().unwrap();
+        assert_eq!(inv_a.rows(), 4);
+        // Off-block entries of the inverse are zero.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i / 2 != j / 2 {
+                    assert!(inv_a[(i, j)].abs() < 1e-10, "({i},{j}) = {}", inv_a[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_covering_whole_factor_is_exact() {
+        // block_size ≥ dim must match the full-factor path exactly.
+        let run = |block: Option<usize>| -> Matrix {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut lin = Linear::new("fc", 3, 2, &mut rng);
+            let x = init::normal(8, 3, 1.0, &mut rng);
+            let targets = vec![0i64, 1, 0, 1, 0, 1, 0, 1];
+            let mut kfac = Kfac::new(
+                KfacConfig { factor_block_size: block, kl_clip: None, ..Default::default() },
+                crate::Sgd::new(0.0, 0.0),
+            );
+            use pipefisher_nn::Layer as _;
+            lin.zero_grad();
+            let logits = lin.forward(&x, &ForwardCtx::train_with_capture());
+            let d = cross_entropy_backward(&logits, &targets);
+            let _ = lin.backward(&d);
+            kfac.step(&mut lin, 0.1);
+            lin.weight().value.clone()
+        };
+        let full = run(None);
+        let covered = run(Some(64));
+        assert!((&full - &covered).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_clip_bounds_update_norm() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut lin = Linear::new("fc", 3, 2, &mut rng);
+        let x = init::normal(4, 3, 10.0, &mut rng); // big activations → big grads
+        let targets = vec![0i64, 1, 0, 1];
+        let kappa = 1e-4;
+        let mut kfac = Kfac::new(
+            KfacConfig { kl_clip: Some(kappa), damping: 1e-4, ..Default::default() },
+            Sgd::new(0.0, 0.0),
+        );
+        use pipefisher_nn::Layer as _;
+        lin.zero_grad();
+        let logits = lin.forward(&x, &ForwardCtx::train_with_capture());
+        let d = cross_entropy_backward(&logits, &targets);
+        let _ = lin.backward(&d);
+
+        // Capture the raw statistic before stepping by replaying phases.
+        kfac.step(&mut lin, 1.0);
+        // After clipping, lr²·Σ⟨g,g̃⟩ ≤ κ: verify by recomputing with
+        // clipped grads against ORIGINAL g̃ relation — here we simply check
+        // the clipped gradient norm is small (the raw norm would be huge).
+        let gnorm = lin.weight().grad.frobenius_norm();
+        assert!(gnorm < 1.0, "clip failed: grad norm {gnorm}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Optimizers for the PipeFisher reproduction.
+//!
+//! Implements the paper's two optimizer families:
+//!
+//! * **First-order baselines** — [`Sgd`], [`Adam`], and [`Lamb`] (the
+//!   NVLAMB flavour used as the paper's baseline for BERT pretraining).
+//! * **K-FAC** ([`Kfac`]) — the second-order method whose *curvature*,
+//!   *inversion*, and *precondition* work PipeFisher schedules into pipeline
+//!   bubbles. The implementation follows §2.3 of the paper: per-layer
+//!   Kronecker factors `A_l` (from input activations) and `B_l` (from
+//!   output-gradient errors), damped Cholesky inversion, and the
+//!   preconditioned gradient `B_l⁻¹ G_l A_l⁻¹`.
+//!
+//! Learning-rate schedules (linear warmup + polynomial decay, Appendix B.2 /
+//! Figure 7) live in [`schedule`].
+//!
+//! # Example
+//!
+//! ```
+//! use pipefisher_optim::{Optimizer, Sgd};
+//! use pipefisher_nn::Parameter;
+//! use pipefisher_tensor::Matrix;
+//!
+//! let mut opt = Sgd::new(0.0, 0.0);
+//! let mut p = Parameter::new("w", Matrix::full(1, 1, 1.0));
+//! p.grad = Matrix::full(1, 1, 0.5);
+//! opt.begin_step();
+//! opt.step_param(&mut p, 0.1);
+//! assert!((p.value[(0, 0)] - 0.95).abs() < 1e-12);
+//! ```
+
+mod adam;
+mod kfac;
+mod lamb;
+pub mod schedule;
+mod sgd;
+mod shampoo;
+
+pub use adam::Adam;
+pub use kfac::{Kfac, KfacConfig, KfacModel, LayerKfacState};
+pub use lamb::Lamb;
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;
+pub use shampoo::{Shampoo, ShampooConfig};
+
+use pipefisher_nn::Parameter;
+
+/// A first-order optimizer applied parameter-by-parameter.
+///
+/// Call [`Optimizer::begin_step`] once per optimization step (it advances
+/// bias-correction counters), then [`Optimizer::step_param`] for every
+/// parameter. State is keyed by [`Parameter::name`], so names must be unique.
+pub trait Optimizer {
+    /// Advances the step counter; call once before visiting parameters.
+    fn begin_step(&mut self);
+
+    /// Updates one parameter in place from its accumulated gradient.
+    fn step_param(&mut self, p: &mut Parameter, lr: f64);
+
+    /// Convenience: runs one full step over a parameter visitation.
+    fn step<F>(&mut self, lr: f64, visit: F)
+    where
+        Self: Sized,
+        F: FnOnce(&mut dyn FnMut(&mut Parameter)),
+    {
+        self.begin_step();
+        visit(&mut |p: &mut Parameter| self.step_param(p, lr));
+    }
+}

@@ -1,0 +1,121 @@
+//! Learning-rate schedules (Appendix B.2 / Figure 7 of the paper).
+
+/// A learning-rate schedule evaluated per optimization step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant(f64),
+    /// NVIDIA BERT's schedule: linear warmup to `base_lr` over
+    /// `warmup_steps`, then polynomial decay
+    /// `base_lr · (1 − t/total_steps)^power` where `t` counts *post-warmup*
+    /// progress against the full horizon, matching Appendix B.2
+    /// (`power = 0.5` in the paper).
+    PolyWithWarmup {
+        /// Peak learning rate reached at the end of warmup.
+        base_lr: f64,
+        /// Linear warmup length in steps.
+        warmup_steps: usize,
+        /// Total training steps (decay horizon).
+        total_steps: usize,
+        /// Decay exponent (0.5 in the paper).
+        power: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's NVLAMB schedule for BERT-Base Phase 1:
+    /// base 6e-3, warmup 2,000, total 7,038, power 0.5.
+    pub fn nvlamb_bert_base() -> Self {
+        LrSchedule::PolyWithWarmup {
+            base_lr: 6e-3,
+            warmup_steps: 2_000,
+            total_steps: 7_038,
+            power: 0.5,
+        }
+    }
+
+    /// The paper's K-FAC schedule: identical but warmup shortened to 600
+    /// steps, "resulting in larger learning rates than NVLAMB until the
+    /// 2,000th step" (§4).
+    pub fn kfac_bert_base() -> Self {
+        LrSchedule::PolyWithWarmup {
+            base_lr: 6e-3,
+            warmup_steps: 600,
+            total_steps: 7_038,
+            power: 0.5,
+        }
+    }
+
+    /// Learning rate at `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::PolyWithWarmup { base_lr, warmup_steps, total_steps, power } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    base_lr * (step + 1) as f64 / warmup_steps as f64
+                } else if step >= total_steps {
+                    0.0
+                } else {
+                    base_lr * (1.0 - step as f64 / total_steps as f64).powf(power)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = LrSchedule::PolyWithWarmup {
+            base_lr: 1.0,
+            warmup_steps: 10,
+            total_steps: 100,
+            power: 0.5,
+        };
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(4) - 0.5).abs() < 1e-12);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_is_monotonic_after_warmup() {
+        let s = LrSchedule::nvlamb_bert_base();
+        let mut prev = s.lr_at(2_000);
+        for step in (2_001..7_038).step_by(100) {
+            let lr = s.lr_at(step);
+            assert!(lr < prev, "step {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn kfac_schedule_is_hotter_early() {
+        // The paper's key schedule property: K-FAC's LR exceeds NVLAMB's
+        // until step 2,000, after which they coincide.
+        let nvlamb = LrSchedule::nvlamb_bert_base();
+        let kfac = LrSchedule::kfac_bert_base();
+        for step in [0, 100, 599, 1_000, 1_500] {
+            assert!(kfac.lr_at(step) > nvlamb.lr_at(step), "step {step}");
+        }
+        for step in [2_000, 3_000, 7_000] {
+            assert!((kfac.lr_at(step) - nvlamb.lr_at(step)).abs() < 1e-15, "step {step}");
+        }
+    }
+
+    #[test]
+    fn ends_at_zero() {
+        let s = LrSchedule::nvlamb_bert_base();
+        assert_eq!(s.lr_at(7_038), 0.0);
+        assert_eq!(s.lr_at(10_000), 0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.3);
+        assert_eq!(s.lr_at(0), 0.3);
+        assert_eq!(s.lr_at(1_000_000), 0.3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Stochastic gradient descent with momentum and decoupled weight decay.
+
+use crate::Optimizer;
+use pipefisher_nn::Parameter;
+use pipefisher_tensor::Matrix;
+use std::collections::HashMap;
+
+/// SGD with classical momentum: `v ← μ·v + g`, `θ ← θ − lr·(v + wd·θ)`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f64,
+    weight_decay: f64,
+    velocity: HashMap<String, Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(momentum: f64, weight_decay: f64) -> Self {
+        Sgd { momentum, weight_decay, velocity: HashMap::new() }
+    }
+
+    /// Momentum coefficient.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Sgd::new(0.9, 0.0)
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn step_param(&mut self, p: &mut Parameter, lr: f64) {
+        let update = if self.momentum > 0.0 {
+            let v = self
+                .velocity
+                .entry(p.name.clone())
+                .or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
+            v.scale_inplace(self.momentum);
+            v.axpy(1.0, &p.grad);
+            v.clone()
+        } else {
+            p.grad.clone()
+        };
+        let mut step = update;
+        if self.weight_decay > 0.0 {
+            step.axpy(self.weight_decay, &p.value);
+        }
+        p.value.axpy(-lr, &step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn param(v: f64, g: f64) -> Parameter {
+        let mut p = Parameter::new("w", Matrix::full(1, 1, v));
+        p.grad = Matrix::full(1, 1, g);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_update() {
+        let mut opt = Sgd::new(0.0, 0.0);
+        let mut p = param(1.0, 2.0);
+        opt.step_param(&mut p, 0.1);
+        assert!((p.value[(0, 0)] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        let mut p = param(0.0, 1.0);
+        opt.step_param(&mut p, 1.0); // v=1, θ=-1
+        opt.step_param(&mut p, 1.0); // v=1.5, θ=-2.5
+        assert!((p.value[(0, 0)] + 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decay_shrinks() {
+        let mut opt = Sgd::new(0.0, 0.1);
+        let mut p = param(10.0, 0.0);
+        opt.step_param(&mut p, 1.0);
+        assert!((p.value[(0, 0)] - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_converges() {
+        // minimize 0.5·x² (grad = x)
+        let mut opt = Sgd::new(0.9, 0.0);
+        let mut p = param(5.0, 0.0);
+        for _ in 0..200 {
+            p.grad = p.value.clone();
+            opt.begin_step();
+            opt.step_param(&mut p, 0.05);
+        }
+        assert!(p.value[(0, 0)].abs() < 1e-3);
+    }
+}

@@ -1,0 +1,191 @@
+//! FLOP and byte counters for one transformer block.
+//!
+//! All counts use the convention FLOPs = 2 × multiply-accumulates. Counts
+//! are *per block*; multiply by blocks-per-stage and tokens as appropriate.
+//! The six K-FAC-eligible linears of a block are q, k, v, o
+//! (`d_model → d_model`), fc1 (`d_model → d_ff`), and fc2
+//! (`d_ff → d_model`), matching `pipefisher-nn`'s `TransformerBlock`.
+
+use crate::TransformerConfig;
+
+/// Forward FLOPs for one token through one block:
+/// four `d×d` projections, attention scores + apply (`4·S·d`), and the FFN.
+pub fn forward_flops_per_token(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    let s = c.seq_len as f64;
+    8.0 * d * d + 4.0 * s * d + 4.0 * d * ff
+}
+
+/// Backward FLOPs per token (standard 2× the forward GEMM work).
+pub fn backward_flops_per_token(c: &TransformerConfig) -> f64 {
+    2.0 * forward_flops_per_token(c)
+}
+
+/// Curvature FLOPs per token: building `A_l` and `B_l` for all six linears.
+///
+/// Each factor is a *symmetric* rank-`n` update (`U·Uᵀ`, BLAS `syrk`),
+/// which computes only the upper triangle — half a general GEMM's MACs:
+/// `n·d²/2` MACs = `n·d²` FLOPs per factor of size `d`. Per token:
+/// q/k/v/o contribute `A`+`B` of size `d` each (8·d²/2 MAC-pairs), fc1
+/// contributes `d² + d_ff²`, fc2 contributes `d_ff² + d²` →
+/// `10d² + 2d_ff²` FLOPs total.
+pub fn curvature_flops_per_token(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    10.0 * d * d + 2.0 * ff * ff
+}
+
+/// Inversion FLOPs for one block (token-independent): Cholesky (`n³/3`) +
+/// triangular inversion and multiply (`≈2n³/3`) ≈ `n³` per factor.
+pub fn inversion_flops(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    10.0 * d * d * d + 2.0 * ff * ff * ff
+}
+
+/// Precondition FLOPs for one block (token-independent): two GEMMs
+/// `B⁻¹·Ḡ·A⁻¹` per linear.
+pub fn precondition_flops(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    // q/k/v/o: 2·(d³ + d³) each → 16·d³; fc1 & fc2: 2·(d_ff²·d + d_ff·d²) each.
+    16.0 * d * d * d + 4.0 * (ff * ff * d + ff * d * d)
+}
+
+/// Curvature FLOPs per token with the Appendix A.2 `K`-block-diagonal
+/// factor approximation: only the diagonal blocks of each Gram matrix are
+/// computed, dividing the per-factor work by `K`.
+pub fn curvature_flops_per_token_blockdiag(c: &TransformerConfig, k: usize) -> f64 {
+    curvature_flops_per_token(c) / k.max(1) as f64
+}
+
+/// Inversion FLOPs for one block with `K`-block-diagonal factors: each
+/// `n`-dim factor becomes `K` factors of `n/K`, so `K·(n/K)³ = n³/K²`.
+pub fn inversion_flops_blockdiag(c: &TransformerConfig, k: usize) -> f64 {
+    inversion_flops(c) / (k.max(1) * k.max(1)) as f64
+}
+
+/// Shampoo statistics FLOPs for one block, one update (token-independent —
+/// the statistics are built from the *gradient matrices*, paper §5):
+/// `L += G·Gᵀ` and `R += Gᵀ·G` per linear.
+pub fn shampoo_stats_flops(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    // q/k/v/o: 2·(d³ + d³) each; fc1 & fc2: 2·(d²·d_ff + d_ff²·d) each.
+    16.0 * d * d * d + 4.0 * (d * d * ff + ff * ff * d)
+}
+
+/// Shampoo root FLOPs for one block: symmetric eigendecomposition of both
+/// statistics per linear, at ≈ 25·n³ (the reason §5 says Shampoo's per-
+/// matrix work must be *divided into multiple pieces* to fit bubbles —
+/// compare [`inversion_flops`]' ≈ n³ Cholesky).
+pub fn shampoo_root_flops(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    25.0 * (10.0 * d * d * d + 2.0 * ff * ff * ff)
+}
+
+/// Parameter bytes for one block (fp32 weights only).
+pub fn param_bytes(c: &TransformerConfig) -> f64 {
+    c.params_per_block() as f64 * 4.0
+}
+
+/// Stored-activation bytes per token for one block (no recomputation):
+/// residual streams, q/k/v/o outputs, attention probabilities
+/// (`2·h·S` per token for scores + probs), FFN intermediate + GELU.
+pub fn activation_bytes_per_token(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    let hs = (c.n_heads * c.seq_len) as f64;
+    (12.0 * d + 2.0 * ff + 2.0 * hs) * 4.0
+}
+
+/// Stored-activation bytes per token with activation recomputation `R`:
+/// only the stage-input tensor is kept.
+pub fn activation_bytes_per_token_recompute(c: &TransformerConfig) -> f64 {
+    c.d_model as f64 * 4.0
+}
+
+/// Error-signal bytes per token kept for K-FAC's `B_l` factors
+/// (`M_err^save`): the pre-activation output gradients of all six linears.
+pub fn error_save_bytes_per_token(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    (5.0 * d + ff) * 4.0
+}
+
+/// Bytes of the Kronecker factors of one block (`M_curv`; the inverses
+/// occupy the same, `M_inv = M_curv`).
+pub fn curvature_bytes(c: &TransformerConfig) -> f64 {
+    let d = c.d_model as f64;
+    let ff = c.d_ff as f64;
+    (10.0 * d * d + 2.0 * ff * ff) * 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_forward_flops() {
+        // 8·768² + 4·128·768 + 4·768·3072 = 14.55 MFLOPs/token.
+        let c = TransformerConfig::bert_base();
+        let f = forward_flops_per_token(&c);
+        assert!((f / 1e6 - 14.55).abs() < 0.05, "{f}");
+    }
+
+    #[test]
+    fn curvature_comparable_to_forward() {
+        // For BERT dims, curvature work per token lands within ~4× of the
+        // forward work — the regime where bubbles of a couple of steps can
+        // absorb it (paper Fig. 3: refresh within 2 steps).
+        for c in TransformerConfig::all() {
+            let ratio = curvature_flops_per_token(&c) / forward_flops_per_token(&c);
+            assert!((0.5..4.0).contains(&ratio), "{}: {ratio}", c.name);
+        }
+    }
+
+    #[test]
+    fn inversion_independent_of_tokens() {
+        // Inversion FLOPs are per block, with no token/seq dependency other
+        // than through the architecture dims.
+        let base = TransformerConfig::bert_base();
+        let mut longer = base.clone();
+        longer.seq_len = 4 * base.seq_len;
+        assert_eq!(inversion_flops(&base), inversion_flops(&longer));
+    }
+
+    #[test]
+    fn longer_sequences_dilute_inversion() {
+        // The paper: "Transformers with longer sequence lengths have larger
+        // bubbles and smaller ratios" — because forward/curvature grow with
+        // S while inversion does not.
+        let b = TransformerConfig::bert_base(); // S=128
+        let t = TransformerConfig::t5_base(); // S=512, same dims
+        let rel_b = inversion_flops(&b) / (forward_flops_per_token(&b) * 128.0);
+        let rel_t = inversion_flops(&t) / (forward_flops_per_token(&t) * 512.0);
+        assert!(rel_t < rel_b);
+    }
+
+    #[test]
+    fn recompute_saves_most_activation_memory() {
+        let c = TransformerConfig::bert_base();
+        assert!(
+            activation_bytes_per_token_recompute(&c) < 0.1 * activation_bytes_per_token(&c)
+        );
+    }
+
+    #[test]
+    fn precondition_smaller_than_inversion() {
+        // T_prec < T_inv for every Table-3 architecture (both are cubic, but
+        // precondition runs at GEMM efficiency — the FLOP counts alone are
+        // the same order; the paper's "precondition is small" claim comes
+        // from it running as efficient GEMMs).
+        for c in TransformerConfig::all() {
+            let p = precondition_flops(&c);
+            let i = inversion_flops(&c);
+            assert!(p < 2.0 * i, "{}: prec {p} vs inv {i}", c.name);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's §3.3 performance model, rebuilt analytically.
+//!
+//! The original measures CUDA kernel times on P100/V100/RTX3090 GPUs with
+//! micro-benchmarks; this reproduction replaces the measurements with a
+//! roofline-style analytic model:
+//!
+//! * [`HardwareProfile`] — peak FLOP/s, memory bandwidth, and efficiency
+//!   factors per op class for the three GPUs the paper uses,
+//! * [`TransformerConfig`] — the six architectures of Table 3 (BERT-Base/
+//!   Large, T5-Base/Large, OPT-125M/350M) with their `d_model`, `d_ff`,
+//!   heads, and sequence lengths,
+//! * [`flops`] — exact FLOP and byte counts for every work type (forward,
+//!   backward, recompute, curvature, inversion, precondition) of a
+//!   transformer block,
+//! * [`stage_costs`] / [`stage_memory`] — per-pipeline-stage durations
+//!   ([`pipefisher_sim::KindCost`]) and memory terms (`M_θ`, `M_act`,
+//!   `M_err^peak`, `M_err^save`, `M_curv = M_inv`),
+//! * [`StepModel`] — the closed-form step model:
+//!   `T_pipe = C_f·T_f + C_b·T_b`,
+//!   `T_bubble = T_pipe − N_micro·(T_f + T_b)`,
+//!   `T_kfac⁺ = N_micro·T_curv + T_inv + T_prec`, and the
+//!   (curvature+inversion)/bubble ratio that Figures 5 and 8–15 plot.
+//!
+//! The substitution preserves the paper's conclusions because every claim in
+//! those figures is about *relative* durations (what fits into a bubble),
+//! which the FLOP-level model reproduces; see DESIGN.md §2.
+
+mod arch;
+pub mod flops;
+mod hardware;
+mod stepmodel;
+
+pub use arch::TransformerConfig;
+pub use hardware::HardwareProfile;
+pub use stepmodel::{
+    model_step, shampoo_stage_costs, stage_costs, stage_memory, StageMemory, StepModel,
+    StepModelInput,
+};

@@ -1,0 +1,488 @@
+//! Schedule builders for GPipe, 1F1B, and Chimera.
+
+use crate::{StageAssignment, TaskGraph, TaskId, WorkKind};
+
+/// The synchronous pipeline schemes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineScheme {
+    /// GPipe (Huang et al., 2019): all forwards, then all backwards.
+    GPipe,
+    /// 1F1B with pipeline flush (Narayanan et al., 2019).
+    OneFOneB,
+    /// Chimera with two bidirectional pipelines (Li & Hoefler, 2021).
+    Chimera,
+}
+
+impl PipelineScheme {
+    /// Scheme name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineScheme::GPipe => "gpipe",
+            PipelineScheme::OneFOneB => "1f1b",
+            PipelineScheme::Chimera => "chimera",
+        }
+    }
+
+    /// Builds the schedule for `n_stages` stages and `n_micro` micro-batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (see the individual builders).
+    pub fn build(&self, n_stages: usize, n_micro: usize) -> TaskGraph {
+        match self {
+            PipelineScheme::GPipe => build_gpipe(n_stages, n_micro),
+            PipelineScheme::OneFOneB => build_1f1b(n_stages, n_micro),
+            PipelineScheme::Chimera => build_chimera(n_stages, n_micro),
+        }
+    }
+
+    /// Forward passes on the critical path when `n_micro = D` (paper
+    /// Table 1): `2D − 1` for GPipe/1F1B, `D` for Chimera.
+    pub fn critical_forwards(&self, d: usize) -> usize {
+        match self {
+            PipelineScheme::GPipe | PipelineScheme::OneFOneB => 2 * d - 1,
+            PipelineScheme::Chimera => d,
+        }
+    }
+
+    /// Backward passes on the critical path when `n_micro = D` (paper
+    /// Table 1): `2D − 1` for GPipe/1F1B, `2D − 2` for Chimera.
+    pub fn critical_backwards(&self, d: usize) -> usize {
+        match self {
+            PipelineScheme::GPipe | PipelineScheme::OneFOneB => 2 * d - 1,
+            PipelineScheme::Chimera => 2 * d - 2,
+        }
+    }
+
+    /// All three schemes, for sweeps.
+    pub fn all() -> [PipelineScheme; 3] {
+        [PipelineScheme::GPipe, PipelineScheme::OneFOneB, PipelineScheme::Chimera]
+    }
+}
+
+/// Builds a GPipe schedule: each device runs all its forwards in micro-batch
+/// order, then all backwards in reverse (LIFO) order, with a pipeline flush
+/// at the end of the step.
+///
+/// # Panics
+///
+/// Panics if `n_stages == 0` or `n_micro == 0`.
+pub fn build_gpipe(n_stages: usize, n_micro: usize) -> TaskGraph {
+    assert!(n_stages > 0 && n_micro > 0, "build_gpipe: empty pipeline");
+    let mut g = TaskGraph::new("gpipe", n_stages, n_stages, n_micro);
+    // fwd[s][m], filled stage-major so deps are already pushed.
+    let mut fwd = vec![vec![TaskId(0); n_micro]; n_stages];
+    for s in 0..n_stages {
+        for m in 0..n_micro {
+            let deps = if s == 0 { vec![] } else { vec![fwd[s - 1][m]] };
+            fwd[s][m] = g.push(s, s, Some(m), WorkKind::Forward, StageAssignment::Single, deps);
+        }
+    }
+    let mut bwd = vec![vec![TaskId(0); n_micro]; n_stages];
+    for s in (0..n_stages).rev() {
+        for m in (0..n_micro).rev() {
+            let mut deps = vec![fwd[s][m]];
+            if s + 1 < n_stages {
+                deps.push(bwd[s + 1][m]);
+            }
+            bwd[s][m] = g.push(s, s, Some(m), WorkKind::Backward, StageAssignment::Single, deps);
+        }
+    }
+    g
+}
+
+/// Builds a 1F1B (PipeDream-flush) schedule: warmup forwards, steady
+/// one-forward-one-backward alternation, cooldown backwards.
+///
+/// # Panics
+///
+/// Panics if `n_stages == 0` or `n_micro == 0`.
+pub fn build_1f1b(n_stages: usize, n_micro: usize) -> TaskGraph {
+    assert!(n_stages > 0 && n_micro > 0, "build_1f1b: empty pipeline");
+    let mut g = TaskGraph::new("1f1b", n_stages, n_stages, n_micro);
+    // Pre-create ids by picking a global construction order that guarantees
+    // deps exist: stage-major forwards first as placeholders is not possible
+    // with push-once semantics, so we instead push per-device in execution
+    // order and wire dependencies afterwards via a second pass... simpler:
+    // compute the per-device op order, push tasks device-by-device in that
+    // order, and resolve dependencies by (kind, stage, mb) lookup at the end.
+    #[derive(Clone, Copy)]
+    enum Op {
+        F(usize),
+        B(usize),
+    }
+    let mut orders: Vec<Vec<Op>> = Vec::with_capacity(n_stages);
+    for s in 0..n_stages {
+        let warmup = (n_stages - 1 - s).min(n_micro);
+        let steady = n_micro - warmup;
+        let mut ops = Vec::with_capacity(2 * n_micro);
+        for m in 0..warmup {
+            ops.push(Op::F(m));
+        }
+        for i in 0..steady {
+            ops.push(Op::F(warmup + i));
+            ops.push(Op::B(i));
+        }
+        for m in steady..n_micro {
+            ops.push(Op::B(m));
+        }
+        orders.push(ops);
+    }
+    // Push all tasks (ids assigned in device-order), then wire deps.
+    let mut fwd = vec![vec![None; n_micro]; n_stages];
+    let mut bwd = vec![vec![None; n_micro]; n_stages];
+    for (s, ops) in orders.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::F(m) => {
+                    let id = g.push(s, s, Some(m), WorkKind::Forward, StageAssignment::Single, vec![]);
+                    fwd[s][m] = Some(id);
+                }
+                Op::B(m) => {
+                    let id = g.push(s, s, Some(m), WorkKind::Backward, StageAssignment::Single, vec![]);
+                    bwd[s][m] = Some(id);
+                }
+            }
+        }
+    }
+    wire_pipeline_deps(&mut g, &fwd, &bwd, n_stages, n_micro);
+    g
+}
+
+/// Fills in the standard pipeline dependencies:
+/// `F(s,m) ← F(s−1,m)` and `B(s,m) ← {B(s+1,m), F(s,m)}`.
+fn wire_pipeline_deps(
+    g: &mut TaskGraph,
+    fwd: &[Vec<Option<TaskId>>],
+    bwd: &[Vec<Option<TaskId>>],
+    n_stages: usize,
+    n_micro: usize,
+) {
+    let mut deps_to_set: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
+    for s in 0..n_stages {
+        for m in 0..n_micro {
+            if let Some(f) = fwd[s][m] {
+                if s > 0 {
+                    deps_to_set.push((f, vec![fwd[s - 1][m].expect("missing fwd dep")]));
+                }
+            }
+            if let Some(b) = bwd[s][m] {
+                let mut deps = vec![fwd[s][m].expect("missing same-stage fwd")];
+                if s + 1 < n_stages {
+                    deps.push(bwd[s + 1][m].expect("missing bwd dep"));
+                }
+                deps_to_set.push((b, deps));
+            }
+        }
+    }
+    g.set_deps(deps_to_set);
+}
+
+/// Builds a Chimera schedule with two bidirectional pipelines.
+///
+/// Device `d` hosts stage `d` of the *down* pipeline (micro-batches
+/// `0..n_micro/2`) and stage `D−1−d` of the *up* pipeline (micro-batches
+/// `n_micro/2..n_micro`). Each sub-pipeline contributes a 1F1B-ordered op
+/// stream per device; the two streams are merged by an event-driven greedy
+/// scheduler with the canonical `T_b = 2·T_f` cost model — when both stream
+/// heads are ready the op *deeper in its pipeline* runs first, which
+/// reproduces the published Chimera interleaving (critical path
+/// `D·T_f + (2D−2)·T_b` for `n_micro = D`).
+///
+/// # Panics
+///
+/// Panics if `n_stages` is odd or zero, or `n_micro` is odd or zero.
+pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
+    assert!(n_stages > 0 && n_stages % 2 == 0, "build_chimera: n_stages must be even");
+    assert!(n_micro > 0 && n_micro % 2 == 0, "build_chimera: n_micro must be even");
+    let d = n_stages;
+    let half = n_micro / 2;
+
+    // Per-stage 1F1B op order of a half pipeline (`half` micro-batches).
+    #[derive(Clone, Copy, PartialEq)]
+    struct StreamOp {
+        kind: WorkKind,
+        stage: usize,
+        micro_batch: usize, // global micro-batch index
+        pipeline: StageAssignment,
+    }
+    let stream_for = |stage: usize, pipeline: StageAssignment| -> Vec<StreamOp> {
+        let warmup = (d - 1 - stage).min(half);
+        let steady = half - warmup;
+        let offset = if pipeline == StageAssignment::Up { half } else { 0 };
+        let mut ops = Vec::with_capacity(2 * half);
+        for m in 0..warmup {
+            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: offset + m, pipeline });
+        }
+        for i in 0..steady {
+            ops.push(StreamOp {
+                kind: WorkKind::Forward,
+                stage,
+                micro_batch: offset + warmup + i,
+                pipeline,
+            });
+            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: offset + i, pipeline });
+        }
+        for m in steady..half {
+            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: offset + m, pipeline });
+        }
+        ops
+    };
+
+    // Event-driven greedy merge of each device's down and up streams.
+    let streams: Vec<[Vec<StreamOp>; 2]> = (0..d)
+        .map(|dev| {
+            [
+                stream_for(dev, StageAssignment::Down),
+                stream_for(d - 1 - dev, StageAssignment::Up),
+            ]
+        })
+        .collect();
+    let mut heads = vec![[0usize, 0usize]; d];
+    let mut free_at = vec![0.0f64; d];
+    // Completion time per (pipeline, kind, stage, micro-batch), NaN = unscheduled.
+    let key = |op: &StreamOp| -> usize {
+        let p = (op.pipeline == StageAssignment::Up) as usize;
+        let k = (op.kind == WorkKind::Backward) as usize;
+        ((p * 2 + k) * d + op.stage) * n_micro + op.micro_batch
+    };
+    let mut end_time = vec![f64::NAN; 4 * d * n_micro];
+    let dur = |op: &StreamOp| if op.kind == WorkKind::Forward { 1.0 } else { 2.0 };
+    let dep_end = |op: &StreamOp, end_time: &[f64]| -> Option<f64> {
+        // F(m,s) ← F(m,s−1); B(m,s) ← {B(m,s+1), F(m,s)} within its pipeline.
+        let mut latest = 0.0f64;
+        let mut dep = |k: WorkKind, s: usize| -> bool {
+            let e = end_time[key(&StreamOp { kind: k, stage: s, ..*op })];
+            if e.is_nan() {
+                return false;
+            }
+            latest = latest.max(e);
+            true
+        };
+        let ok = match op.kind {
+            WorkKind::Forward => op.stage == 0 || dep(WorkKind::Forward, op.stage - 1),
+            WorkKind::Backward => {
+                dep(WorkKind::Forward, op.stage)
+                    && (op.stage + 1 == d || dep(WorkKind::Backward, op.stage + 1))
+            }
+            _ => unreachable!(),
+        };
+        ok.then_some(latest)
+    };
+
+    let total_ops = 2 * d * n_micro;
+    let mut realized: Vec<Vec<StreamOp>> = vec![Vec::new(); d];
+    let mut scheduled = 0;
+    // Time-ordered sweep: repeatedly start every op that can start now;
+    // otherwise advance "now" to the next completion/free event.
+    let mut now = 0.0f64;
+    while scheduled < total_ops {
+        let mut progressed = false;
+        for dev in 0..d {
+            if free_at[dev] > now + 1e-9 {
+                continue;
+            }
+            // Candidate heads that are dependency-ready at `now`.
+            let mut best: Option<(usize, f64, usize)> = None; // (stream, start, stage)
+            for st in 0..2 {
+                if heads[dev][st] >= streams[dev][st].len() {
+                    continue;
+                }
+                let op = streams[dev][st][heads[dev][st]];
+                if let Some(de) = dep_end(&op, &end_time) {
+                    if de <= now + 1e-9 {
+                        let better = match best {
+                            None => true,
+                            // Deeper op in its own pipeline first.
+                            Some((_, _, stage)) => op.stage > stage,
+                        };
+                        if better {
+                            best = Some((st, now, op.stage));
+                        }
+                    }
+                }
+            }
+            if let Some((st, start, _)) = best {
+                let op = streams[dev][st][heads[dev][st]];
+                heads[dev][st] += 1;
+                end_time[key(&op)] = start + dur(&op);
+                free_at[dev] = start + dur(&op);
+                realized[dev].push(op);
+                scheduled += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Advance to the next event: earliest future free/end time.
+            let mut next = f64::INFINITY;
+            for dev in 0..d {
+                if free_at[dev] > now + 1e-9 {
+                    next = next.min(free_at[dev]);
+                }
+                for st in 0..2 {
+                    if heads[dev][st] < streams[dev][st].len() {
+                        let op = streams[dev][st][heads[dev][st]];
+                        if let Some(de) = dep_end(&op, &end_time) {
+                            if de > now + 1e-9 {
+                                next = next.min(de.max(free_at[dev]));
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                next.is_finite(),
+                "build_chimera: merge stalled at t={now} with {scheduled}/{total_ops} ops"
+            );
+            now = next;
+        }
+    }
+
+    // Push tasks in realized per-device order, then wire deps per pipeline.
+    let mut g = TaskGraph::new("chimera", d, d, n_micro);
+    let mut fwd = vec![vec![None; n_micro]; d];
+    let mut bwd = vec![vec![None; n_micro]; d];
+    for (dev, ops) in realized.iter().enumerate() {
+        for op in ops {
+            let id = g.push(dev, op.stage, Some(op.micro_batch), op.kind, op.pipeline, vec![]);
+            match op.kind {
+                WorkKind::Forward => fwd[op.stage][op.micro_batch] = Some(id),
+                WorkKind::Backward => bwd[op.stage][op.micro_batch] = Some(id),
+                _ => unreachable!("streams contain only forward/backward"),
+            }
+        }
+    }
+    // Dependencies: within the down pipeline stages advance 0→D−1; within the
+    // up pipeline they also advance 0→D−1 in *stage* numbering (device
+    // numbering is mirrored), so the same wiring applies per micro-batch
+    // group.
+    let mut deps_to_set: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
+    for s in 0..d {
+        for m in 0..n_micro {
+            if let Some(f) = fwd[s][m] {
+                if s > 0 {
+                    deps_to_set.push((f, vec![fwd[s - 1][m].expect("chimera fwd dep")]));
+                }
+            }
+            if let Some(b) = bwd[s][m] {
+                let mut deps = vec![fwd[s][m].expect("chimera same-stage fwd")];
+                if s + 1 < d {
+                    deps.push(bwd[s + 1][m].expect("chimera bwd dep"));
+                }
+                deps_to_set.push((b, deps));
+            }
+        }
+    }
+    g.set_deps(deps_to_set);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Task;
+
+    fn unit_cost(t: &Task) -> f64 {
+        match t.kind {
+            WorkKind::Forward => 1.0,
+            WorkKind::Backward => 2.0,
+            _ => 0.0,
+        }
+    }
+
+    #[test]
+    fn gpipe_validates_and_has_expected_makespan() {
+        for d in [1, 2, 4, 8] {
+            for n in [1, 2, 4, 8] {
+                let g = build_gpipe(d, n);
+                g.validate().unwrap();
+                // GPipe makespan with T_f=1, T_b=2:
+                // (D−1)·T_f + N·T_f + (D−1)·T_b + N·T_b = (N+D−1)·3.
+                let expect = (n + d - 1) as f64 * 3.0;
+                let got = g.makespan(unit_cost).unwrap();
+                assert!((got - expect).abs() < 1e-9, "d={d} n={n}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_validates_and_matches_gpipe_makespan() {
+        // With flush and N ≥ D, 1F1B has the same critical path as GPipe
+        // (the savings are in memory, not step time, per the paper's C_f/C_b).
+        for d in [1, 2, 4] {
+            for n in [4, 8] {
+                let g = build_1f1b(d, n);
+                g.validate().unwrap();
+                let expect = (n + d - 1) as f64 * 3.0;
+                let got = g.makespan(unit_cost).unwrap();
+                assert!((got - expect).abs() < 1e-9, "d={d} n={n}: {got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn chimera_validates_across_sizes() {
+        for d in [2, 4, 8, 16] {
+            for n in [d, 2 * d, 4 * d] {
+                let g = build_chimera(d, n);
+                g.validate().unwrap_or_else(|e| panic!("d={d} n={n}: {e}"));
+                assert_eq!(g.tasks().len(), 2 * d * n);
+            }
+        }
+    }
+
+    #[test]
+    fn chimera_critical_path_matches_paper_table1() {
+        // For N_micro = D and T_b = 2·T_f the paper gives
+        // T_pipe = C_f·T_f + C_b·T_b with C_f = D, C_b = 2D−2.
+        for d in [2, 4, 8, 16] {
+            let g = build_chimera(d, d);
+            let got = g.makespan(unit_cost).unwrap();
+            let expect = d as f64 + (2 * d - 2) as f64 * 2.0;
+            assert!(
+                (got - expect).abs() < 1e-9,
+                "d={d}: makespan {got}, paper model {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn chimera_beats_gpipe_bubble_ratio() {
+        for d in [4, 8] {
+            let gp = build_gpipe(d, d).makespan(unit_cost).unwrap();
+            let ch = build_chimera(d, d).makespan(unit_cost).unwrap();
+            assert!(ch < gp, "d={d}: chimera {ch} not faster than gpipe {gp}");
+        }
+    }
+
+    #[test]
+    fn chimera_device_hosts_two_stages() {
+        let g = build_chimera(4, 4);
+        for dev in 0..4 {
+            let stages: std::collections::HashSet<usize> = g
+                .tasks()
+                .iter()
+                .filter(|t| t.device == dev)
+                .map(|t| t.stage)
+                .collect();
+            assert_eq!(stages.len(), 2, "device {dev} stages {stages:?}");
+            assert!(stages.contains(&dev));
+            assert!(stages.contains(&(3 - dev)));
+        }
+    }
+
+    #[test]
+    fn scheme_enum_roundtrip() {
+        for scheme in PipelineScheme::all() {
+            let g = scheme.build(4, 4);
+            g.validate().unwrap();
+            assert_eq!(g.scheme_name(), scheme.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn chimera_odd_stages_panics() {
+        let _ = build_chimera(3, 4);
+    }
+}

@@ -1,0 +1,253 @@
+//! Interleaved 1F1B with virtual pipeline stages (Narayanan et al., 2021b).
+//!
+//! Each device hosts `v` *virtual* stages (device `d` owns stages
+//! `d, d+D, d+2D, …`), shrinking the startup/tear-down bubble by ≈ `1/v` at
+//! the cost of more P2P communication. This scheme is **not** in the
+//! PipeFisher paper — it is included to exercise the paper's claim that the
+//! automatic work assignment applies to *any* pipeline schedule (see
+//! `pipefisher-core`'s `assign_graph`).
+
+use crate::{StageAssignment, TaskGraph, TaskId, WorkKind};
+
+/// Builds an interleaved 1F1B schedule: `n_stages_total = v · n_devices`
+/// virtual stages round-robined over the devices, merged per device by an
+/// event-driven greedy scheduler (ready head with the deepest stage first,
+/// the same construction as the Chimera builder).
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn build_interleaved_1f1b(n_devices: usize, n_micro: usize, v: usize) -> TaskGraph {
+    assert!(
+        n_devices > 0 && n_micro > 0 && v > 0,
+        "build_interleaved_1f1b: empty pipeline"
+    );
+    let total = v * n_devices;
+
+    #[derive(Clone, Copy, PartialEq)]
+    struct StreamOp {
+        kind: WorkKind,
+        stage: usize,
+        micro_batch: usize,
+    }
+    // 1F1B stream per virtual stage over the full `total`-deep pipeline.
+    let stream_for = |stage: usize| -> Vec<StreamOp> {
+        let warmup = (total - 1 - stage).min(n_micro);
+        let steady = n_micro - warmup;
+        let mut ops = Vec::with_capacity(2 * n_micro);
+        for m in 0..warmup {
+            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: m });
+        }
+        for i in 0..steady {
+            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: warmup + i });
+            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: i });
+        }
+        for m in steady..n_micro {
+            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: m });
+        }
+        ops
+    };
+
+    let streams: Vec<Vec<Vec<StreamOp>>> = (0..n_devices)
+        .map(|dev| (0..v).map(|k| stream_for(dev + k * n_devices)).collect())
+        .collect();
+    let mut heads = vec![vec![0usize; v]; n_devices];
+    let mut free_at = vec![0.0f64; n_devices];
+    let key = |op: &StreamOp| -> usize {
+        let k = (op.kind == WorkKind::Backward) as usize;
+        (k * total + op.stage) * n_micro + op.micro_batch
+    };
+    let mut end_time = vec![f64::NAN; 2 * total * n_micro];
+    let dur = |op: &StreamOp| if op.kind == WorkKind::Forward { 1.0 } else { 2.0 };
+    let dep_end = |op: &StreamOp, end_time: &[f64]| -> Option<f64> {
+        let mut latest = 0.0f64;
+        let mut dep = |k: WorkKind, s: usize| -> bool {
+            let e = end_time[key(&StreamOp { kind: k, stage: s, micro_batch: op.micro_batch })];
+            if e.is_nan() {
+                return false;
+            }
+            latest = latest.max(e);
+            true
+        };
+        let ok = match op.kind {
+            WorkKind::Forward => op.stage == 0 || dep(WorkKind::Forward, op.stage - 1),
+            WorkKind::Backward => {
+                dep(WorkKind::Forward, op.stage)
+                    && (op.stage + 1 == total || dep(WorkKind::Backward, op.stage + 1))
+            }
+            _ => unreachable!(),
+        };
+        ok.then_some(latest)
+    };
+
+    let total_ops = 2 * total * n_micro;
+    let mut realized: Vec<Vec<StreamOp>> = vec![Vec::new(); n_devices];
+    let mut scheduled = 0;
+    let mut now = 0.0f64;
+    while scheduled < total_ops {
+        let mut progressed = false;
+        for dev in 0..n_devices {
+            if free_at[dev] > now + 1e-9 {
+                continue;
+            }
+            let mut best: Option<(usize, usize)> = None; // (stream, stage)
+            for st in 0..v {
+                if heads[dev][st] >= streams[dev][st].len() {
+                    continue;
+                }
+                let op = streams[dev][st][heads[dev][st]];
+                if let Some(de) = dep_end(&op, &end_time) {
+                    if de <= now + 1e-9 {
+                        let better = match best {
+                            None => true,
+                            Some((_, stage)) => op.stage > stage,
+                        };
+                        if better {
+                            best = Some((st, op.stage));
+                        }
+                    }
+                }
+            }
+            if let Some((st, _)) = best {
+                let op = streams[dev][st][heads[dev][st]];
+                heads[dev][st] += 1;
+                end_time[key(&op)] = now + dur(&op);
+                free_at[dev] = now + dur(&op);
+                realized[dev].push(op);
+                scheduled += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            let mut next = f64::INFINITY;
+            for dev in 0..n_devices {
+                if free_at[dev] > now + 1e-9 {
+                    next = next.min(free_at[dev]);
+                }
+                for st in 0..v {
+                    if heads[dev][st] < streams[dev][st].len() {
+                        let op = streams[dev][st][heads[dev][st]];
+                        if let Some(de) = dep_end(&op, &end_time) {
+                            if de > now + 1e-9 {
+                                next = next.min(de.max(free_at[dev]));
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                next.is_finite(),
+                "build_interleaved_1f1b: merge stalled at t={now} ({scheduled}/{total_ops})"
+            );
+            now = next;
+        }
+    }
+
+    let mut g = TaskGraph::new(format!("1f1b-interleaved-v{v}"), n_devices, total, n_micro);
+    let mut fwd = vec![vec![None; n_micro]; total];
+    let mut bwd = vec![vec![None; n_micro]; total];
+    for (dev, ops) in realized.iter().enumerate() {
+        for op in ops {
+            let id = g.push(dev, op.stage, Some(op.micro_batch), op.kind, StageAssignment::Single, vec![]);
+            match op.kind {
+                WorkKind::Forward => fwd[op.stage][op.micro_batch] = Some(id),
+                WorkKind::Backward => bwd[op.stage][op.micro_batch] = Some(id),
+                _ => unreachable!(),
+            }
+        }
+    }
+    let mut deps_to_set: Vec<(TaskId, Vec<TaskId>)> = Vec::new();
+    for s in 0..total {
+        for m in 0..n_micro {
+            if let Some(f) = fwd[s][m] {
+                if s > 0 {
+                    deps_to_set.push((f, vec![fwd[s - 1][m].expect("fwd dep")]));
+                }
+            }
+            if let Some(b) = bwd[s][m] {
+                let mut deps = vec![fwd[s][m].expect("same-stage fwd")];
+                if s + 1 < total {
+                    deps.push(bwd[s + 1][m].expect("bwd dep"));
+                }
+                deps_to_set.push((b, deps));
+            }
+        }
+    }
+    g.set_deps(deps_to_set);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_1f1b;
+
+    fn cost(t: &crate::Task) -> f64 {
+        match t.kind {
+            WorkKind::Forward => 1.0,
+            WorkKind::Backward => 2.0,
+            _ => 0.0,
+        }
+    }
+
+    #[test]
+    fn validates_across_sizes() {
+        for d in [2usize, 4, 8] {
+            for v in [1usize, 2, 4] {
+                for n in [d, 2 * d] {
+                    let g = build_interleaved_1f1b(d, n, v);
+                    g.validate().unwrap_or_else(|e| panic!("d={d} v={v} n={n}: {e}"));
+                    assert_eq!(g.tasks().len(), 2 * v * d * n);
+                    assert_eq!(g.n_stages(), v * d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v1_matches_plain_1f1b_makespan() {
+        for d in [2usize, 4, 8] {
+            let plain = build_1f1b(d, d).makespan(cost).unwrap();
+            let inter = build_interleaved_1f1b(d, d, 1).makespan(cost).unwrap();
+            assert!((plain - inter).abs() < 1e-9, "d={d}: {inter} vs {plain}");
+        }
+    }
+
+    #[test]
+    fn more_virtual_stages_reduce_bubble_fraction() {
+        // With v virtual chunks the per-chunk pipeline fill shrinks; each
+        // device's busy time is constant (v chunks of 1/v the work would
+        // need scaled costs — here chunk cost is constant so busy grows,
+        // making the utilization comparison direct: same per-op costs, more
+        // ops per device, same fill latency → higher utilization).
+        let d = 4;
+        let util = |v: usize| {
+            let g = build_interleaved_1f1b(d, d, v);
+            let times = g.nominal_times(cost).unwrap();
+            let span = times.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
+            let busy: f64 = times.iter().map(|&(s, e)| e - s).sum();
+            busy / (span * d as f64)
+        };
+        let u1 = util(1);
+        let u2 = util(2);
+        let u4 = util(4);
+        assert!(u2 > u1, "{u2} vs {u1}");
+        assert!(u4 > u2, "{u4} vs {u2}");
+    }
+
+    #[test]
+    fn devices_host_v_stages_round_robin() {
+        let g = build_interleaved_1f1b(4, 4, 2);
+        for dev in 0..4 {
+            let stages: std::collections::BTreeSet<usize> = g
+                .tasks()
+                .iter()
+                .filter(|t| t.device == dev)
+                .map(|t| t.stage)
+                .collect();
+            assert_eq!(stages.len(), 2);
+            assert!(stages.contains(&dev));
+            assert!(stages.contains(&(dev + 4)));
+        }
+    }
+}

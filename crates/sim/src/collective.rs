@@ -1,0 +1,53 @@
+//! Collective-communication cost models.
+
+/// Time for a ring allreduce of `bytes` across `n` participants:
+/// `2·(n−1)·latency + 2·(n−1)/n · bytes / bandwidth` (reduce-scatter +
+/// allgather). With `n <= 1` the collective is free.
+///
+/// Used for the `sync-grad` and `sync-curvature` steps of data-parallel
+/// training (paper §3.2); PipeFisher amortizes `sync-curvature` by splitting
+/// inversion work across replicas.
+///
+/// # Panics
+///
+/// Panics if `bandwidth <= 0`.
+pub fn ring_allreduce_time(bytes: f64, n: usize, bandwidth: f64, latency: f64) -> f64 {
+    assert!(bandwidth > 0.0, "ring_allreduce_time: bandwidth must be positive");
+    if n <= 1 {
+        return 0.0;
+    }
+    let hops = (n - 1) as f64;
+    2.0 * hops * latency + 2.0 * hops / n as f64 * bytes / bandwidth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_participant_is_free() {
+        assert_eq!(ring_allreduce_time(1e9, 1, 1e9, 1e-5), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_term_dominates_large_messages() {
+        // 1 GB over 10 GB/s between 2 ranks: 2·(1/2)·1e9/1e10 = 0.1 s.
+        let t = ring_allreduce_time(1e9, 2, 1e10, 0.0);
+        assert!((t - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_term_scales_with_ring_size() {
+        let t4 = ring_allreduce_time(0.0, 4, 1e9, 1e-5);
+        let t8 = ring_allreduce_time(0.0, 8, 1e9, 1e-5);
+        assert!((t4 - 6e-5).abs() < 1e-12);
+        assert!((t8 - 14e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotically_bandwidth_bound() {
+        // As n → ∞ the data term tends to 2·bytes/bandwidth.
+        let t = ring_allreduce_time(1e9, 1024, 1e10, 0.0);
+        assert!((t - 2.0 * 1e9 / 1e10 * 1023.0 / 1024.0).abs() < 1e-9);
+    }
+}

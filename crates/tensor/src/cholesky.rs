@@ -1,0 +1,228 @@
+//! Cholesky factorization, solves, and SPD inversion.
+//!
+//! K-FAC's *inversion* work is exactly this module: each Kronecker factor
+//! `A_l`, `B_l` is a symmetric positive semi-definite Gram matrix, damped to
+//! positive definiteness, factored as `L·Lᵀ`, and inverted. The paper calls
+//! `torch.linalg.cholesky` + `torch.linalg.cholesky_inverse` per factor; the
+//! functions here are the Rust equivalents.
+
+use crate::{Matrix, TensorError};
+
+/// Error alias for Cholesky routines (always a [`TensorError`]).
+pub type CholeskyError = TensorError;
+
+/// Computes the lower-triangular Cholesky factor `L` with `L·Lᵀ = a`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotPositiveDefinite`] with the failing pivot index
+/// if `a` is not positive definite (callers typically add damping and retry),
+/// and [`TensorError::NonFinite`] if a non-finite value appears.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_tensor::{cholesky, Matrix};
+/// # fn main() -> Result<(), pipefisher_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a)?;
+/// let rebuilt = l.matmul(&l.transpose());
+/// assert!((&rebuilt - &a).max_abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    assert!(a.is_square(), "cholesky: matrix must be square");
+    let n = a.rows();
+    let src = a.as_slice();
+    let mut l = vec![0.0; n * n];
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = src[j * n + j];
+        for p in 0..j {
+            d -= l[j * n + p] * l[j * n + p];
+        }
+        if !d.is_finite() {
+            return Err(TensorError::NonFinite("cholesky"));
+        }
+        if d <= 0.0 {
+            return Err(TensorError::NotPositiveDefinite(j));
+        }
+        let dj = d.sqrt();
+        l[j * n + j] = dj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = src[i * n + j];
+            for p in 0..j {
+                s -= l[i * n + p] * l[j * n + p];
+            }
+            l[i * n + j] = s / dj;
+        }
+    }
+    Ok(Matrix::from_vec(n, n, l))
+}
+
+/// Solves `a · x = b` for one or more right-hand sides given SPD `a`,
+/// using an internal Cholesky factorization.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.rows() != a.rows()`.
+pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Result<Matrix, CholeskyError> {
+    let l = cholesky(a)?;
+    Ok(solve_with_factor(&l, b))
+}
+
+/// Computes the inverse of an SPD matrix via Cholesky.
+///
+/// The result is explicitly symmetrized to remove round-off asymmetry, which
+/// matters for the preconditioning products `B⁻¹ G A⁻¹` in K-FAC.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_tensor::{cholesky_inverse, Matrix};
+/// # fn main() -> Result<(), pipefisher_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+/// let inv = cholesky_inverse(&a)?;
+/// assert!((inv[(0, 0)] - 0.5).abs() < 1e-12);
+/// assert!((inv[(1, 1)] - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky_inverse(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let mut inv = solve_with_factor(&l, &Matrix::eye(n));
+    inv.symmetrize();
+    Ok(inv)
+}
+
+/// Solves `L·Lᵀ·x = b` given the lower Cholesky factor `L`.
+fn solve_with_factor(l: &Matrix, b: &Matrix) -> Matrix {
+    let n = l.rows();
+    assert_eq!(b.rows(), n, "solve_with_factor: rhs rows");
+    let m = b.cols();
+    let lf = l.as_slice();
+    let mut x = b.clone().into_vec();
+    // Forward substitution: L·y = b.
+    for i in 0..n {
+        let lii = lf[i * n + i];
+        for c in 0..m {
+            let mut s = x[i * m + c];
+            for p in 0..i {
+                s -= lf[i * n + p] * x[p * m + c];
+            }
+            x[i * m + c] = s / lii;
+        }
+    }
+    // Back substitution: Lᵀ·x = y.
+    for i in (0..n).rev() {
+        let lii = lf[i * n + i];
+        for c in 0..m {
+            let mut s = x[i * m + c];
+            for p in (i + 1)..n {
+                s -= lf[p * n + i] * x[p * m + c];
+            }
+            x[i * m + c] = s / lii;
+        }
+    }
+    Matrix::from_vec(n, m, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a random SPD matrix `MᵀM + n·I`.
+    fn rand_spd(n: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let m = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        let mut spd = m.matmul_tn(&m);
+        spd.add_diag(n as f64 * 0.1 + 0.5);
+        spd
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for n in [1, 2, 5, 16, 40] {
+            let a = rand_spd(n, n as u64);
+            let l = cholesky(&a).unwrap();
+            let rebuilt = l.matmul(&l.transpose());
+            assert!((&rebuilt - &a).max_abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = rand_spd(6, 3);
+        let l = cholesky(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        for n in [1, 3, 10, 24] {
+            let a = rand_spd(n, 7 + n as u64);
+            let inv = cholesky_inverse(&a).unwrap();
+            let prod = a.matmul(&inv);
+            assert!((&prod - &Matrix::eye(n)).max_abs() < 1e-8, "n={n}");
+            assert!(inv.is_symmetric(1e-10));
+        }
+    }
+
+    #[test]
+    fn solve_matches_inverse() {
+        let a = rand_spd(8, 11);
+        let b = rand_spd(8, 13);
+        let x = cholesky_solve(&a, &b).unwrap();
+        let x2 = cholesky_inverse(&a).unwrap().matmul(&b);
+        assert!((&x - &x2).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn non_spd_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match cholesky(&a) {
+            Err(TensorError::NotPositiveDefinite(_)) => {}
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damping_rescues_singular_matrix() {
+        // Rank-1 Gram matrix (singular) becomes SPD after damping — this is
+        // precisely what K-FAC's damped inversion relies on.
+        let u = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut g = u.gram();
+        assert!(cholesky(&g).is_err());
+        g.add_diag(1e-3);
+        assert!(cholesky(&g).is_ok());
+    }
+}

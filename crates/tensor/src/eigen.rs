@@ -1,0 +1,259 @@
+//! Symmetric eigendecomposition (cyclic Jacobi) and matrix power functions.
+//!
+//! Needed by the Shampoo optimizer (paper §5: pipelining Shampoo's work is
+//! "a natural extension" of PipeFisher): Shampoo preconditions with inverse
+//! fourth roots `L^{-1/4} G R^{-1/4}`, which require an eigendecomposition
+//! of each Kronecker-factored statistic — a more expensive *inversion-class*
+//! work unit than K-FAC's Cholesky.
+
+use crate::{Matrix, TensorError};
+
+/// Eigendecomposition of a symmetric matrix: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors, one per **column**, matching the
+    /// eigenvalue order.
+    pub eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V · f(λ) · Vᵀ` for an elementwise spectral function.
+    pub fn apply(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.eigenvalues.len();
+        let v = &self.eigenvectors;
+        // V · diag(f(λ)): scale each column.
+        let mut scaled = v.clone();
+        for r in 0..n {
+            let row = scaled.row_mut(r);
+            for (c, x) in row.iter_mut().enumerate() {
+                *x *= f(self.eigenvalues[c]);
+            }
+        }
+        scaled.matmul_nt(v)
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method (quadratically convergent; exact orthogonality by
+/// construction of the rotations).
+///
+/// # Errors
+///
+/// Returns [`TensorError::NonFinite`] on non-finite input and
+/// [`TensorError::Shape`]-free panics are avoided by the assert below.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or not symmetric within `1e-8·max|a|`.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_tensor::{symmetric_eigen, Matrix};
+/// # fn main() -> Result<(), pipefisher_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a)?;
+/// assert!((e.eigenvalues[0] - 1.0).abs() < 1e-10);
+/// assert!((e.eigenvalues[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, TensorError> {
+    assert!(a.is_square(), "symmetric_eigen: matrix must be square");
+    let tol_sym = 1e-8 * a.max_abs().max(1.0);
+    assert!(a.is_symmetric(tol_sym), "symmetric_eigen: matrix must be symmetric");
+    if !a.all_finite() {
+        return Err(TensorError::NonFinite("symmetric_eigen"));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::eye(n);
+
+    let off_diag_norm = |m: &Matrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[(i, j)] * m[(i, j)];
+            }
+        }
+        s.sqrt()
+    };
+
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let target = 1e-12 * scale;
+    for _sweep in 0..100 {
+        if off_diag_norm(&m) <= target {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= target / (n * n) as f64 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Jacobi rotation angle.
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p, q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[(i, i)].partial_cmp(&m[(j, j)]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut eigenvectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            eigenvectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+}
+
+/// Computes `a^power` for a symmetric positive semi-definite matrix via its
+/// eigendecomposition, clamping eigenvalues below `eps` to `eps` first
+/// (Shampoo's `L^{-1/4}` with `power = -0.25`).
+///
+/// # Errors
+///
+/// Propagates [`symmetric_eigen`] failures.
+///
+/// # Panics
+///
+/// Panics if `a` is not square/symmetric or `eps <= 0`.
+pub fn matrix_power_psd(a: &Matrix, power: f64, eps: f64) -> Result<Matrix, TensorError> {
+    assert!(eps > 0.0, "matrix_power_psd: eps must be positive");
+    let e = symmetric_eigen(a)?;
+    Ok(e.apply(|lambda| lambda.max(eps).powf(power)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_sym(n: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::from_vec(n, n, (0..n * n).map(|_| next()).collect());
+        m.symmetrize();
+        m
+    }
+
+    fn rand_spd(n: usize, seed: u64) -> Matrix {
+        let m = rand_sym(n, seed);
+        let mut spd = m.matmul_tn(&m);
+        spd.add_diag(0.3);
+        spd
+    }
+
+    #[test]
+    fn reconstruction() {
+        for n in [1, 2, 5, 12, 24] {
+            let a = rand_sym(n, n as u64 + 1);
+            let e = symmetric_eigen(&a).unwrap();
+            let rebuilt = e.apply(|l| l);
+            assert!((&rebuilt - &a).max_abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = rand_sym(10, 3);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.eigenvectors.matmul_tn(&e.eigenvectors);
+        assert!((&vtv - &Matrix::eye(10)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_satisfy_av_equals_lv() {
+        let a = rand_sym(8, 5);
+        let e = symmetric_eigen(&a).unwrap();
+        for w in e.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        for (c, &l) in e.eigenvalues.iter().enumerate() {
+            let vcol = e.eigenvectors.col(c);
+            let av = a.matvec(&vcol);
+            for (i, &x) in av.iter().enumerate() {
+                assert!((x - l * vcol[i]).abs() < 1e-8, "col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 0.5]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.eigenvalues[0] + 1.0).abs() < 1e-12);
+        assert!((e.eigenvalues[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_fourth_root() {
+        let a = rand_spd(6, 9);
+        let root = matrix_power_psd(&a, -0.25, 1e-12).unwrap();
+        // (a^{-1/4})^4 · a == I
+        let r2 = root.matmul(&root);
+        let r4 = r2.matmul(&r2);
+        let prod = r4.matmul(&a);
+        assert!((&prod - &Matrix::eye(6)).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_matches_cholesky_inverse() {
+        let a = rand_spd(7, 11);
+        let by_eigen = matrix_power_psd(&a, -1.0, 1e-12).unwrap();
+        let by_chol = crate::cholesky_inverse(&a).unwrap();
+        assert!((&by_eigen - &by_chol).max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn eps_clamps_small_eigenvalues() {
+        // Singular PSD matrix: power would blow up without the clamp.
+        let u = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let g = u.gram(); // rank 1
+        let inv = matrix_power_psd(&g, -0.5, 1e-4).unwrap();
+        assert!(inv.all_finite());
+        assert!(inv.max_abs() <= 1.0 / 1e-4f64.sqrt() + 1.0);
+    }
+}

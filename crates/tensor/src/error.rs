@@ -1,0 +1,63 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A mismatch between the shapes of operands to a matrix operation.
+///
+/// Carried by [`TensorError::Shape`]. Most operations in this crate panic on
+/// shape mismatch (programmer error), but fallible entry points such as
+/// [`crate::cholesky`] return structured errors instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable name of the operation that failed.
+    pub op: &'static str,
+    /// Shape of the left/first operand as `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right/second operand as `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Errors produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Operand shapes were incompatible.
+    Shape(ShapeError),
+    /// A matrix expected to be symmetric positive definite was not
+    /// (e.g. Cholesky hit a non-positive pivot). Carries the pivot index.
+    NotPositiveDefinite(usize),
+    /// A numeric value was not finite where finiteness is required.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => e.fmt(f),
+            TensorError::NotPositiveDefinite(i) => {
+                write!(f, "matrix is not positive definite (pivot {i})")
+            }
+            TensorError::NonFinite(op) => write!(f, "non-finite value encountered in {op}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}

@@ -1,0 +1,110 @@
+//! Numerically stable softmax and log-softmax over matrix rows.
+
+use crate::Matrix;
+
+/// Row-wise stable softmax: each row of the result sums to 1.
+///
+/// # Example
+///
+/// ```
+/// use pipefisher_tensor::{softmax, Matrix};
+/// let logits = Matrix::from_rows(&[&[0.0, 0.0]]);
+/// let p = softmax(&logits);
+/// assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Row-wise stable softmax, in place.
+pub fn softmax_inplace(logits: &mut Matrix) {
+    let cols = logits.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Row-wise stable log-softmax.
+///
+/// Computed as `x - max - ln(Σ exp(x - max))`, avoiding overflow for large
+/// logits and catastrophic cancellation for small probabilities.
+pub fn log_softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    let cols = out.cols();
+    if cols == 0 {
+        return out;
+    }
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = row.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= lse;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn stable_for_large_logits() {
+        let logits = Matrix::from_rows(&[&[1000.0, 1000.0]]);
+        let p = softmax(&logits);
+        assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!(p.all_finite());
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let logits = Matrix::from_rows(&[&[0.3, -1.2, 2.0, 0.0]]);
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for c in 0..4 {
+            assert!((lp[(0, c)] - p[(0, c)].ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_softmax_stable_for_extreme_logits() {
+        let logits = Matrix::from_rows(&[&[-1e4, 0.0, 1e4]]);
+        let lp = log_softmax(&logits);
+        assert!(lp.all_finite());
+        assert!((lp[(0, 2)] - 0.0).abs() < 1e-9); // dominant class ~ prob 1
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        let logits = Matrix::from_rows(&[&[0.1, 0.5, -2.0]]);
+        let p = softmax(&logits);
+        assert!(p[(0, 1)] > p[(0, 0)]);
+        assert!(p[(0, 0)] > p[(0, 2)]);
+    }
+}

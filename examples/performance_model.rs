@@ -1,0 +1,67 @@
+//! Query the §3.3 performance model for any architecture / GPU / pipeline.
+//!
+//! Usage: `cargo run --example performance_model -- [arch] [hw] [D] [B_micro]`
+//! with `arch ∈ {bert-base, bert-large, t5-base, t5-large, opt-125m,
+//! opt-350m}` and `hw ∈ {p100, v100, rtx3090}`. Defaults: bert-base, p100,
+//! D=8, B_micro=16.
+
+use pipefisher::perfmodel::{
+    model_step, stage_costs, stage_memory, HardwareProfile, StepModelInput, TransformerConfig,
+};
+use pipefisher::pipeline::PipelineScheme;
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let arch = match args.get(1).map(String::as_str) {
+        None | Some("bert-base") => TransformerConfig::bert_base(),
+        Some("bert-large") => TransformerConfig::bert_large(),
+        Some("t5-base") => TransformerConfig::t5_base(),
+        Some("t5-large") => TransformerConfig::t5_large(),
+        Some("opt-125m") => TransformerConfig::opt_125m(),
+        Some("opt-350m") => TransformerConfig::opt_350m(),
+        Some(other) => {
+            eprintln!("unknown architecture '{other}'");
+            std::process::exit(1);
+        }
+    };
+    let hw = match args.get(2).map(String::as_str) {
+        None | Some("p100") => HardwareProfile::p100(),
+        Some("v100") => HardwareProfile::v100(),
+        Some("rtx3090") => HardwareProfile::rtx3090(),
+        Some(other) => {
+            eprintln!("unknown hardware '{other}'");
+            std::process::exit(1);
+        }
+    };
+    let d: usize = args.get(3).map_or(8, |s| s.parse().expect("D"));
+    let b_micro: usize = args.get(4).map_or(16, |s| s.parse().expect("B_micro"));
+
+    println!("{} on {} — D={d} stages (1 block/stage), N_micro={d}, B_micro={b_micro}\n", arch.name, hw.name);
+    println!(
+        "{:<22} | {:>10} {:>10} {:>9} {:>7} {:>9}",
+        "scheme", "step (ms)", "bubble(ms)", "thru", "ratio", "mem (GB)"
+    );
+    for scheme in PipelineScheme::all() {
+        let m = model_step(&StepModelInput {
+            scheme,
+            d,
+            n_micro: d,
+            b_micro,
+            w: 1,
+            costs: stage_costs(&arch, &hw, 1, b_micro, false),
+            memory: stage_memory(&arch, 1, b_micro, false),
+            hw: hw.clone(),
+        });
+        println!(
+            "{:<22} | {:>10.1} {:>10.1} {:>9.1} {:>7.2} {:>9.2}",
+            scheme.name(),
+            m.t_step_pipefisher * 1e3,
+            m.t_bubble * 1e3,
+            m.throughput,
+            m.ratio,
+            (m.m_pipe + m.m_kfac_extra) / 1e9,
+        );
+    }
+    println!("\nratio = pipeline steps per curvature refresh; lower = fresher curvature.");
+}

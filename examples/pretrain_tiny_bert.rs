@@ -1,0 +1,67 @@
+//! Pretrain a tiny BERT on the synthetic language with NVLAMB and K-FAC and
+//! race them to a target loss — a fast version of the Figure 6 comparison.
+//!
+//! Run with: `cargo run --release --example pretrain_tiny_bert`
+
+use pipefisher::lm::{BatchSampler, OptimizerChoice, SyntheticLanguage, Trainer};
+use pipefisher::nn::{BertConfig, BertForPreTraining};
+use pipefisher::optim::{KfacConfig, LrSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 150;
+const SMOOTH: usize = 11;
+
+fn setup(warmup: usize, seed: u64) -> (Trainer, BertForPreTraining) {
+    let lang = SyntheticLanguage::new(68, 4, 4, 99);
+    let sampler = BatchSampler::new(lang, 16);
+    let schedule = LrSchedule::PolyWithWarmup {
+        base_lr: 1e-2,
+        warmup_steps: warmup,
+        total_steps: STEPS,
+        power: 0.5,
+    };
+    let trainer = Trainer::new(sampler, 16, schedule, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
+    (trainer, model)
+}
+
+fn main() {
+    println!("racing NVLAMB vs K-FAC for {STEPS} steps on the synthetic masked-LM task…\n");
+
+    let (mut trainer, mut model) = setup(40, 3);
+    let lamb = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, STEPS);
+
+    let (mut trainer, mut model) = setup(12, 3);
+    let kfac = trainer.run(
+        &mut model,
+        &OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 3e-2,
+                ema_decay: 0.5,
+                curvature_interval: 3,
+                inversion_interval: 3,
+                kl_clip: Some(1e-2),
+                factor_block_size: None,
+            },
+        },
+        STEPS,
+    );
+
+    println!("{:>6} {:>10} {:>10}", "step", lamb.label, kfac.label);
+    let (ls, ks) = (lamb.smoothed(SMOOTH), kfac.smoothed(SMOOTH));
+    for i in (0..STEPS).step_by(10) {
+        println!("{:>6} {:>10.4} {:>10.4}", i, ls[i], ks[i]);
+    }
+
+    let target = lamb.final_loss(SMOOTH);
+    match kfac.steps_to_reach(target, SMOOTH) {
+        Some(s) => println!(
+            "\nK-FAC reached NVLAMB's final loss ({target:.4}) at step {s} ({:.0}% of {STEPS})",
+            100.0 * s as f64 / STEPS as f64
+        ),
+        None => println!("\nK-FAC did not reach NVLAMB's final loss ({target:.4}) in {STEPS} steps"),
+    }
+}

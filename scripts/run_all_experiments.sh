@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper plus the ablations.
+# Output goes to results/ (one .txt per experiment). Run from the repo root.
+set -euo pipefail
+
+OUT=${1:-results}
+mkdir -p "$OUT"
+
+BINARIES=(
+  fig1_schedule
+  fig2_parallelism_schemes
+  fig3_profiles
+  fig4_chimera
+  fig5_perf_model
+  fig6_time_mapping
+  fig7_lr_schedule
+  table2_bert_large
+  fig8_9_model_grids
+  fig10_15_hw_sweep
+  ablation_extra_work
+  ablation_async
+  ablation_fit_strategy
+  appendix_a2_blockdiag
+)
+
+echo "building…"
+cargo build --release -p pipefisher-bench
+
+for bin in "${BINARIES[@]}"; do
+  echo "running $bin…"
+  cargo run -q --release -p pipefisher-bench --bin "$bin" > "$OUT/$bin.txt"
+done
+
+# The convergence experiment trains for real (~2-4 min).
+echo "running fig6_convergence (real training, a few minutes)…"
+cargo run -q --release -p pipefisher-bench --bin fig6_convergence > "$OUT/fig6_convergence.txt"
+
+echo "done — results in $OUT/"

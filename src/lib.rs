@@ -1,0 +1,26 @@
+//! # PipeFisher (Rust reproduction)
+//!
+//! Umbrella crate re-exporting every subsystem of the PipeFisher
+//! reproduction (MLSYS 2023: "PipeFisher: Efficient Training of Large
+//! Language Models Using Pipelining and Fisher Information Matrices").
+//!
+//! * [`tensor`] — dense linear algebra (GEMM, Cholesky, softmax).
+//! * [`nn`] — transformer layers with manual backprop and K-FAC capture.
+//! * [`optim`] — SGD / Adam / LAMB / K-FAC optimizers.
+//! * [`pipeline`] — GPipe, 1F1B, and Chimera schedule builders.
+//! * [`sim`] — discrete-event cluster simulator and timeline profiler.
+//! * [`perfmodel`] — the paper's §3.3 analytic performance model.
+//! * [`core`] — PipeFisher's automatic bubble work assignment.
+//! * [`lm`] — synthetic language-modeling workloads and training loops.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory mapping each paper table/figure to a module and binary.
+
+pub use pipefisher_core as core;
+pub use pipefisher_lm as lm;
+pub use pipefisher_nn as nn;
+pub use pipefisher_optim as optim;
+pub use pipefisher_perfmodel as perfmodel;
+pub use pipefisher_pipeline as pipeline;
+pub use pipefisher_sim as sim;
+pub use pipefisher_tensor as tensor;

@@ -1,0 +1,113 @@
+//! End-to-end training integration tests: the optimizer stack (nn + optim +
+//! lm) actually learns, and K-FAC converges at least as fast as the
+//! first-order baseline under matched budgets — the property Figure 6 rests
+//! on.
+
+use pipefisher::lm::{BatchSampler, OptimizerChoice, SyntheticLanguage, Trainer};
+use pipefisher::nn::{BertConfig, BertForPreTraining};
+use pipefisher::optim::{KfacConfig, LrSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 60;
+const SMOOTH: usize = 9;
+
+fn run(choice: &OptimizerChoice, warmup: usize, seed: u64) -> pipefisher::lm::TrainRun {
+    let lang = SyntheticLanguage::new(52, 2, 4, 5);
+    let sampler = BatchSampler::new(lang, 16);
+    let schedule = LrSchedule::PolyWithWarmup {
+        base_lr: 1e-2,
+        warmup_steps: warmup,
+        total_steps: STEPS,
+        power: 0.5,
+    };
+    let mut trainer = Trainer::new(sampler, 16, schedule, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = BertForPreTraining::new(BertConfig::tiny(52, 16), 0.0, &mut rng);
+    trainer.run(&mut model, choice, STEPS)
+}
+
+#[test]
+fn lamb_learns_the_synthetic_language() {
+    let r = run(&OptimizerChoice::Lamb { weight_decay: 0.01 }, 15, 1);
+    let start = r.smoothed(SMOOTH)[SMOOTH / 2];
+    let end = r.final_loss(SMOOTH);
+    assert!(end < start - 0.1, "no learning: {start} -> {end}");
+    assert!(r.losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn kfac_learns_the_synthetic_language() {
+    let choice = OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            damping: 3e-2,
+            ema_decay: 0.5,
+            curvature_interval: 3,
+            inversion_interval: 3,
+            kl_clip: Some(1e-2),
+            factor_block_size: None,
+        },
+    };
+    let r = run(&choice, 5, 1);
+    let start = r.smoothed(SMOOTH)[SMOOTH / 2];
+    let end = r.final_loss(SMOOTH);
+    assert!(end < start - 0.1, "no learning: {start} -> {end}");
+    assert!(r.losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn kfac_is_at_least_as_fast_as_lamb() {
+    // The Figure 6 property at integration-test scale: under matched
+    // budgets (same base LR; K-FAC gets the shorter warmup as in App. B.2)
+    // K-FAC's final smoothed loss must not be worse than LAMB's.
+    let lamb = run(&OptimizerChoice::Lamb { weight_decay: 0.01 }, 15, 2);
+    let kfac = run(
+        &OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 3e-2,
+                ema_decay: 0.5,
+                curvature_interval: 3,
+                inversion_interval: 3,
+                kl_clip: Some(1e-2),
+                factor_block_size: None,
+            },
+        },
+        5,
+        2,
+    );
+    let lamb_final = lamb.final_loss(SMOOTH);
+    let kfac_final = kfac.final_loss(SMOOTH);
+    assert!(
+        kfac_final <= lamb_final + 0.05,
+        "kfac {kfac_final} worse than lamb {lamb_final}"
+    );
+    // And K-FAC reaches LAMB's final loss within the budget.
+    assert!(
+        kfac.steps_to_reach(lamb_final + 1e-9, SMOOTH).is_some(),
+        "kfac never reached lamb's final loss"
+    );
+}
+
+#[test]
+fn stale_curvature_still_converges() {
+    // PipeFisher's whole premise: preconditioning with inverses a few steps
+    // old must not break convergence. Train with a deliberately long
+    // refresh interval and check learning still happens.
+    let choice = OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            damping: 3e-2,
+            ema_decay: 0.0,
+            curvature_interval: 10,
+            inversion_interval: 10,
+            kl_clip: Some(1e-2),
+            factor_block_size: None,
+        },
+    };
+    let r = run(&choice, 5, 3);
+    let start = r.smoothed(SMOOTH)[SMOOTH / 2];
+    let end = r.final_loss(SMOOTH);
+    assert!(end < start - 0.05, "stale curvature broke learning: {start} -> {end}");
+}

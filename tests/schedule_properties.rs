@@ -1,0 +1,148 @@
+//! Property-based tests over schedules, simulation, and bubble assignment.
+
+use pipefisher::core::{assign, PipeFisherConfig};
+use pipefisher::pipeline::{PipelineScheme, WorkKind};
+use pipefisher::sim::{simulate, KindCost, UniformCost};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = PipelineScheme> {
+    prop_oneof![
+        Just(PipelineScheme::GPipe),
+        Just(PipelineScheme::OneFOneB),
+        Just(PipelineScheme::Chimera),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_always_validate(
+        scheme in scheme_strategy(),
+        d_half in 1usize..6,
+        n_mult in 1usize..4,
+    ) {
+        let d = 2 * d_half; // even for Chimera
+        let n = d * n_mult;
+        let g = scheme.build(d, n);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.tasks().len(), 2 * d * n);
+    }
+
+    #[test]
+    fn simulation_conserves_time(
+        scheme in scheme_strategy(),
+        d_half in 1usize..5,
+        t_f in 0.5f64..3.0,
+        b_ratio in 1.0f64..3.0,
+    ) {
+        let d = 2 * d_half;
+        let g = scheme.build(d, d);
+        let tl = simulate(&g, &UniformCost::new(t_f, t_f * b_ratio)).unwrap();
+        let span = tl.makespan();
+        prop_assert!(tl.is_overlap_free(1e-9));
+        // Busy + bubbles == span per device.
+        for dev in 0..g.n_devices() {
+            let busy = tl.device_busy(dev);
+            let bub: f64 = tl.bubbles(dev, span).iter().map(|(s, e)| e - s).sum();
+            prop_assert!((busy + bub - span).abs() < 1e-6);
+        }
+        // Every device does n_micro forwards + backwards worth of work.
+        let per_dev = d as f64 * (t_f + t_f * b_ratio);
+        for dev in 0..g.n_devices() {
+            prop_assert!((tl.device_busy(dev) - per_dev).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn assignment_invariants(
+        scheme in scheme_strategy(),
+        d_half in 1usize..4,
+        curv in 0.05f64..0.6,
+        inv in 0.05f64..0.8,
+        prec in 0.01f64..0.3,
+    ) {
+        let d = 2 * d_half;
+        let costs = KindCost {
+            t_f: 1.0,
+            t_b: 2.0,
+            t_recompute: 0.0,
+            t_curv_a: curv,
+            t_curv_b: curv,
+            t_inv_a: inv,
+            t_inv_b: inv,
+            t_prec: prec,
+            t_sync_grad: 0.05,
+            t_sync_curv: 0.05,
+        };
+        let config = PipeFisherConfig {
+            scheme,
+            d,
+            n_micro: d,
+            w: 1,
+            costs,
+            max_steps: 256,
+            chimera_pair_parallelism: scheme == PipelineScheme::Chimera,
+            recompute: false,
+            granularity: 4,
+        };
+        let Ok(s) = assign(&config) else {
+            // Oversized chunks are a legitimate outcome for extreme draws.
+            return Ok(());
+        };
+        // 1. The schedule's own invariant checker finds nothing.
+        let problems = s.check_invariants();
+        prop_assert!(problems.is_empty(), "invariants: {problems:?}");
+        prop_assert!(s.augmented_timeline.is_overlap_free(1e-9));
+        // 2. Work conservation: placed K-FAC time equals the queue total.
+        let placed: f64 = s.placements.iter().map(|p| p.end - p.start).sum();
+        let stages_per_dev = if scheme == PipelineScheme::Chimera { 2 } else { 1 };
+        let pair = if scheme == PipelineScheme::Chimera { 2.0 } else { 1.0 };
+        let sync = if scheme == PipelineScheme::Chimera { 0.05 } else { 0.0 };
+        let expect = d as f64
+            * (d as f64 * (curv + curv)          // curvature: n_micro per device
+                + stages_per_dev as f64 * (inv + inv) / pair // split inversion
+                + stages_per_dev as f64 * sync);  // sync-curvature
+        prop_assert!((placed - expect).abs() < 1e-6, "placed {placed} expect {expect}");
+        // 3. Placements only on valid devices and non-negative.
+        for p in &s.placements {
+            prop_assert!(p.device < d);
+            prop_assert!(p.end >= p.start);
+            prop_assert!(p.start >= 0.0);
+        }
+        // 4. Inversion never precedes the last same-factor curvature chunk
+        //    on its device (+pair for Chimera).
+        for p in &s.placements {
+            if let WorkKind::Inversion(f) = p.kind {
+                let last_curv = s
+                    .placements
+                    .iter()
+                    .filter(|q| {
+                        q.stage == p.stage
+                            && q.kind == WorkKind::Curvature(f)
+                            && (q.device == p.device
+                                || (scheme == PipelineScheme::Chimera
+                                    && q.device == d - 1 - p.device))
+                    })
+                    .map(|q| q.end)
+                    .fold(0.0f64, f64::max);
+                prop_assert!(p.start >= last_curv - 1e-9);
+            }
+        }
+        // 5. Utilization strictly improves and stays ≤ 1.
+        prop_assert!(s.steady_utilization > s.utilization_baseline - 1e-9);
+        prop_assert!(s.steady_utilization <= 1.0 + 1e-9);
+        prop_assert!(s.utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn deeper_pipelines_have_more_bubble_fraction(
+        d_half in 2usize..6,
+    ) {
+        // GPipe bubble fraction (D−1)/(N+D−1) grows with D at N = D.
+        let d = 2 * d_half;
+        let small = simulate(&PipelineScheme::GPipe.build(d - 2, d - 2), &UniformCost::new(1.0, 2.0)).unwrap();
+        let large = simulate(&PipelineScheme::GPipe.build(d, d), &UniformCost::new(1.0, 2.0)).unwrap();
+        prop_assert!(large.utilization() < small.utilization() + 1e-9);
+    }
+}
