@@ -1,0 +1,329 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `bench_function` /
+//! `bench_with_input` / `sample_size`, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Behaviour:
+//!
+//! * Under `cargo bench` (cargo passes `--bench` to `harness = false`
+//!   targets) each benchmark is warmed up and timed over a fixed sample
+//!   count, and a one-line median is printed.
+//! * Under any other invocation (notably `cargo test`, which runs bench
+//!   targets in test mode) each benchmark body executes **once** so the
+//!   bench acts as a smoke test without burning minutes of CPU.
+//! * Results are collected on the [`Criterion`] value; [`Criterion::results`]
+//!   and [`Criterion::write_json`] let a custom `main` export a
+//!   machine-readable summary (used for `BENCH_kernels.json`).
+
+use std::time::{Duration, Instant};
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/param` identifier.
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration (0 in test mode).
+    pub median_ns: f64,
+    /// Number of timed samples (0 in test mode).
+    pub samples: usize,
+}
+
+/// Identifies a benchmark within a group, like `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id with a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+/// Drives iterations of one benchmark body.
+pub struct Bencher<'a> {
+    measure: bool,
+    samples: usize,
+    result_ns: &'a mut f64,
+    taken: &'a mut usize,
+}
+
+impl Bencher<'_> {
+    /// Calls `routine` repeatedly and records the median iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            let _ = routine();
+            return;
+        }
+        // Warmup: until ~50ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3
+            || (warm_start.elapsed() < Duration::from_millis(50) && warm_iters < 1000)
+        {
+            let _ = routine();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch iterations so each sample is at least ~1ms of work.
+        let batch = (1e-3 / per_iter.max(1e-9)).ceil().max(1.0) as usize;
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                let _ = routine();
+            }
+            times.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        *self.result_ns = times[times.len() / 2] * 1e9;
+        *self.taken = self.samples;
+    }
+}
+
+/// A named group of benchmarks, like `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        let measure = self.criterion.measure;
+        let samples = self.sample_size;
+        let mut ns = 0.0;
+        let mut taken = 0;
+        {
+            let mut bencher = Bencher {
+                measure,
+                samples,
+                result_ns: &mut ns,
+                taken: &mut taken,
+            };
+            f(&mut bencher);
+        }
+        self.criterion.record(full, ns, taken);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, like `criterion::Criterion`.
+pub struct Criterion {
+    measure: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when running `cargo bench` on a
+        // `harness = false` target; anything else (e.g. `cargo test`) runs
+        // the benches once as smoke tests.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Whether full measurement is active (`--bench` present).
+    pub fn measuring(&self) -> bool {
+        self.measure
+    }
+
+    /// Begins a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, id: String, median_ns: f64, samples: usize) {
+        if self.measure {
+            println!("{id:<55} time: {}", format_ns(median_ns));
+        }
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples,
+        });
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes results as a JSON array of `{id, median_ns}` objects.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}",
+                r.id, r.median_ns, r.samples
+            ));
+        }
+        out.push_str("\n]\n");
+        std::fs::write(path, out)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            measure: false,
+            results: Vec::new(),
+        };
+        let mut calls = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].samples, 0);
+    }
+
+    #[test]
+    fn measure_mode_times_and_records() {
+        let mut c = Criterion {
+            measure: true,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+        }
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+        assert_eq!(c.results()[0].id, "g/f/3");
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], [`Just`], [`prop_oneof!`],
+//! [`ProptestConfig`], and the [`proptest!`]/[`prop_assert!`]/
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed so it
+//!   can be replayed, but is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG stream from a
+//!   fixed base seed, the test name, and the case index, so runs are fully
+//!   reproducible without a persistence file.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates values of an associated type from a seeded RNG.
+///
+/// Object-safe (`Box<dyn Strategy<Value = T>>` works); the combinator
+/// methods are `Self: Sized` and so excluded from the vtable.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then draws from the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased variants; built by [`prop_oneof!`].
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `variants` (must be non-empty).
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.variants.len());
+        self.variants[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for fixed-length `Vec`s of `element` draws.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of exactly `len` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A test-case failure raised by [`prop_assert!`]/[`prop_assert_eq!`].
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Result type of a property-test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives the cases of one property test; used by the [`proptest!`] macro.
+pub mod test_runner {
+    use super::{ProptestConfig, Strategy, TestCaseResult};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Fixed base seed; combined with the test name and case index.
+    const BASE_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `body` against `config.cases` values drawn from `strategy`,
+    /// panicking (with replay info) on the first failure.
+    pub fn run<S: Strategy>(
+        config: &ProptestConfig,
+        name: &str,
+        strategy: &S,
+        body: impl Fn(S::Value) -> TestCaseResult,
+    ) {
+        let name_hash = fnv1a(name);
+        for case in 0..config.cases as u64 {
+            let seed = BASE_SEED ^ name_hash.wrapping_add(case.wrapping_mul(0xa076_1d64_78bd_642f));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            if let Err(e) = body(value) {
+                panic!("property '{name}' failed at case {case} (seed {seed:#x}): {e}");
+            }
+        }
+    }
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` followed
+/// by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                &config,
+                stringify!($name),
+                &strategy,
+                |($($pat,)+)| -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with an
+/// optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even_strategy() -> impl Strategy<Value = usize> {
+        (1usize..50).prop_map(|x| 2 * x)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0.5f64..2.0, z in 1u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn mapped_values_are_even(x in even_strategy()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_len_matches((len, v) in (1usize..8).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0.0..1.0f64, n))
+        })) {
+            prop_assert_eq!(v.len(), len);
+        }
+
+        #[test]
+        fn oneof_picks_from_variants(x in prop_oneof![Just(1), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn tuple_pattern_destructures((a, b) in (0usize..5, 0usize..5)) {
+            prop_assert!(a < 5 && b < 5);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let strat = (0u64..1_000_000, 0.0..1.0f64);
+        let collect = || {
+            let out = std::cell::RefCell::new(Vec::new());
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(16),
+                "determinism_probe",
+                &strat,
+                |v| {
+                    out.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            out.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_index() {
+        crate::test_runner::run(
+            &ProptestConfig::with_cases(4),
+            "always_fails",
+            &(0usize..10,),
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+}

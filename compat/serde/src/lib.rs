@@ -1,0 +1,15 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace only uses serde as `#[derive(Serialize, Deserialize)]`
+//! annotations on plain data types; no code path serializes through the
+//! trait machinery (JSON output goes through the `serde_json` shim's
+//! `json!` macro). The derives re-exported here expand to nothing, and the
+//! marker traits exist so `T: Serialize` bounds would still compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods used offline).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods used offline).
+pub trait DeserializeMarker {}

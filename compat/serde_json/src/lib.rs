@@ -1,0 +1,380 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Implements the subset the workspace uses: the [`Value`] tree, the
+//! [`json!`] construction macro, and [`to_string`]/[`to_string_pretty`].
+//! Object key order is preserved (insertion order), numbers are `f64` or
+//! `i64`, and string escaping covers the JSON control set.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (emitted without a decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Match serde_json: integral floats render with ".0".
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        let _ = write!(out, "{f:.1}");
+                    } else {
+                        let _ = write!(out, "{f}");
+                    }
+                } else {
+                    // serde_json emits null for non-finite floats.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    item.write(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Int(*v as i64)
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_from_float {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Float(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Float(*v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_float!(f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Types serializable by [`to_string`]/[`to_string_pretty`] — the shim's
+/// stand-in for `serde::Serialize` bounds.
+pub trait ToJson {
+    /// Converts to a [`Value`] tree.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+/// Error type kept for signature parity (serialization here can't fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write(&mut out, false, 0);
+    Ok(out)
+}
+
+/// Serializes with two-space indentation, like `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json_value().write(&mut out, true, 0);
+    Ok(out)
+}
+
+/// Constructs a [`Value`] from JSON-like syntax: objects with string-literal
+/// keys, arrays, nesting, and arbitrary expressions convertible via
+/// `Into<Value>`. Values are token-munched up to the next top-level comma,
+/// so multi-token expressions (`m.t_pipe * 1e3`) work as they do with the
+/// real `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal_item!(items () $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut fields: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal_field!(fields $($tt)+);
+        $crate::Value::Object(fields)
+    }};
+    ($($other:tt)+) => { $crate::Value::from($($other)+) };
+}
+
+/// Internal: munches one object field (`"key": <tts up to top-level comma>`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_field {
+    ($fields:ident) => {};
+    ($fields:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_internal_field_value!($fields [$key] () $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_field_value {
+    ($fields:ident [$key:literal] ($($val:tt)+) , $($rest:tt)*) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)+)));
+        $crate::json_internal_field!($fields $($rest)*)
+    };
+    ($fields:ident [$key:literal] ($($val:tt)+)) => {
+        $fields.push(($key.to_string(), $crate::json!($($val)+)));
+    };
+    ($fields:ident [$key:literal] ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_field_value!($fields [$key] ($($val)* $next) $($rest)*)
+    };
+}
+
+/// Internal: munches one array item (tts up to the next top-level comma).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_item {
+    ($items:ident ()) => {};
+    ($items:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $items.push($crate::json!($($val)+));
+        $crate::json_internal_item!($items () $($rest)*)
+    };
+    ($items:ident ($($val:tt)+)) => {
+        $items.push($crate::json!($($val)+));
+    };
+    ($items:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_item!($items ($($val)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+// `json!` expands to a push-muncher; within this crate clippy sees through
+// the macro and suggests `vec![..]`, which the muncher cannot produce.
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&json!(3usize)).unwrap(), "3");
+        assert_eq!(to_string(&json!(1.5)).unwrap(), "1.5");
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(true)).unwrap(), "true");
+        assert_eq!(to_string(&json!("a\"b")).unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let name = String::from("gpipe");
+        let v = json!({
+            "scheme": name,
+            "d": 4usize,
+            "ratio": 1.25,
+            "inner": { "flag": true },
+            "arr": [1, 2, 3],
+        });
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\"scheme\":\"gpipe\",\"d\":4,\"ratio\":1.25,\
+             \"inner\":{\"flag\":true},\"arr\":[1,2,3]}"
+        );
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let v = json!({ "a": 1, "b": [true] });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn vec_of_values_serializes() {
+        let rows = vec![json!({"x": 1}), json!({"x": 2})];
+        let s = to_string_pretty(&rows).unwrap();
+        assert!(s.starts_with("[\n  {"));
+    }
+}

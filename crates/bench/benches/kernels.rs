@@ -1,9 +1,19 @@
-//! Criterion micro-benchmarks for the math kernels underlying every K-FAC
-//! work type: GEMM (forward/backward/precondition), symmetric Gram updates
-//! (curvature), and Cholesky inversion (inversion work).
+//! Serial-vs-parallel micro-benchmarks for the math kernels underlying every
+//! K-FAC work type: GEMM (forward/backward/precondition) at BERT-Base/Large
+//! dimensions (768/1024/3072/4096), the symmetric Gram curvature kernel, and
+//! a whole `Kfac::step` (curvature EMA + inversion + preconditioning across
+//! layers).
+//!
+//! The custom `main` times every kernel twice — once pinned to one worker
+//! lane, once at the pool's parallel thread count — and writes a
+//! machine-readable summary (including the measured speedups and the host
+//! core count, so a 1-core container's ≈1× results are self-explaining) to
+//! `results/BENCH_kernels.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pipefisher_tensor::{cholesky_inverse, Matrix};
+use criterion::{BenchmarkId, Criterion};
+use pipefisher_nn::{BertConfig, BertForPreTraining, ForwardCtx, PreTrainingBatch, IGNORE_INDEX};
+use pipefisher_optim::{Kfac, KfacConfig, Lamb};
+use pipefisher_tensor::{par, Matrix};
 use std::hint::black_box;
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -17,64 +27,201 @@ fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect())
 }
 
-fn rand_spd(n: usize, seed: u64) -> Matrix {
-    let m = rand_matrix(n, n, seed);
-    let mut spd = m.matmul_tn(&m);
-    spd.add_diag(n as f64 * 0.05 + 1.0);
-    spd
+/// Times `op` under `label/mode/param` with the pool pinned to `threads`
+/// lanes (0 = the default parallel count).
+fn bench_leg(
+    c: &mut Criterion,
+    group: &str,
+    mode: &str,
+    param: &str,
+    threads: usize,
+    mut op: impl FnMut(),
+) {
+    par::set_max_threads(threads);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(3);
+    g.bench_with_input(BenchmarkId::new(mode, param), &(), |b, _| b.iter(&mut op));
+    g.finish();
+    par::set_max_threads(0);
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    for &n in &[32usize, 64, 128] {
+fn bench_gemm(c: &mut Criterion, par_threads: usize) {
+    // Square GEMMs at the paper's hidden sizes plus the BERT FFN shapes
+    // (tokens × d_ff)·(d_ff × d_model) touching 3072/4096.
+    let square: &[usize] = if c.measuring() { &[768, 1024] } else { &[96] };
+    for &n in square {
         let a = rand_matrix(n, n, 1);
         let b = rand_matrix(n, n, 2);
-        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bencher, _| {
-            bencher.iter(|| black_box(a.matmul(&b)));
+        let param = format!("{n}x{n}x{n}");
+        bench_leg(c, "gemm", "serial", &param, 1, || {
+            black_box(a.matmul(&b));
+        });
+        bench_leg(c, "gemm", "parallel", &param, par_threads, || {
+            black_box(a.matmul(&b));
         });
     }
-    group.finish();
-}
-
-fn bench_curvature(c: &mut Criterion) {
-    // The curvature kernel: Gram matrix of per-token activations, U ∈
-    // (tokens × d) → UᵀU ∈ (d × d).
-    let mut group = c.benchmark_group("curvature_gram");
-    for &d in &[32usize, 64, 128] {
-        let u = rand_matrix(256, d, 3);
-        group.bench_with_input(BenchmarkId::new("gram_256tok", d), &d, |bencher, _| {
-            bencher.iter(|| black_box(u.gram()));
+    let rect: &[(usize, usize, usize)] = if c.measuring() {
+        &[(128, 3072, 768), (128, 4096, 1024)]
+    } else {
+        &[(16, 96, 48)]
+    };
+    for &(m, k, n) in rect {
+        let a = rand_matrix(m, k, 3);
+        let b = rand_matrix(k, n, 4);
+        let param = format!("{m}x{k}x{n}");
+        bench_leg(c, "gemm", "serial", &param, 1, || {
+            black_box(a.matmul(&b));
+        });
+        bench_leg(c, "gemm", "parallel", &param, par_threads, || {
+            black_box(a.matmul(&b));
         });
     }
-    group.finish();
 }
 
-fn bench_inversion(c: &mut Criterion) {
-    // The inversion kernel: damped Cholesky inverse of a Kronecker factor.
-    let mut group = c.benchmark_group("inversion");
-    for &n in &[32usize, 64, 128] {
-        let a = rand_spd(n, 4);
-        group.bench_with_input(BenchmarkId::new("cholesky_inverse", n), &n, |bencher, _| {
-            bencher.iter(|| black_box(cholesky_inverse(&a).unwrap()));
+fn bench_gram(c: &mut Criterion, par_threads: usize) {
+    // The curvature kernel: Gram matrix of per-token activations,
+    // U ∈ (tokens × d) → UᵀU ∈ (d × d), at BERT-Base/Large hidden sizes.
+    let dims: &[usize] = if c.measuring() { &[768, 1024] } else { &[64] };
+    for &d in dims {
+        let u = rand_matrix(512, d, 5);
+        let param = format!("512tok_{d}");
+        bench_leg(c, "gram", "serial", &param, 1, || {
+            black_box(u.gram());
+        });
+        bench_leg(c, "gram", "parallel", &param, par_threads, || {
+            black_box(u.gram());
         });
     }
-    group.finish();
 }
 
-fn bench_precondition(c: &mut Criterion) {
-    // The precondition kernel: B⁻¹·G·A⁻¹ (two GEMMs).
-    let mut group = c.benchmark_group("precondition");
-    for &(dout, din) in &[(32usize, 64usize), (64, 128)] {
-        let inv_b = rand_spd(dout, 5);
-        let inv_a = rand_spd(din, 6);
-        let g = rand_matrix(dout, din, 7);
-        let id = format!("{dout}x{din}");
-        group.bench_function(BenchmarkId::new("b_g_a", id), |bencher| {
-            bencher.iter(|| black_box(inv_b.matmul(&g).matmul(&inv_a)));
+fn bench_kfac_step(c: &mut Criterion, par_threads: usize) {
+    // A whole optimizer step over a multi-block encoder: per-layer curvature
+    // EMA, Cholesky inversion, and preconditioning all run through the pool.
+    let (d_model, d_ff, n_layers) = if c.measuring() {
+        (128, 512, 4)
+    } else {
+        (32, 64, 2)
+    };
+    let vocab = 200;
+    let seq = 16;
+    let cfg = BertConfig {
+        vocab_size: vocab,
+        max_seq: seq + 2,
+        d_model,
+        d_ff,
+        n_heads: 4,
+        n_layers,
+    };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
+    let mut model = BertForPreTraining::new(cfg, 0.0, &mut rng);
+    let n = 4 * seq;
+    let batch = PreTrainingBatch {
+        token_ids: (0..n).map(|i| (i * 17 + 3) % vocab).collect(),
+        segment_ids: (0..n).map(|i| usize::from(i % seq >= seq / 2)).collect(),
+        mlm_targets: (0..n)
+            .map(|i| {
+                if i % 4 == 0 {
+                    ((i * 13) % vocab) as i64
+                } else {
+                    IGNORE_INDEX
+                }
+            })
+            .collect(),
+        nsp_targets: (0..4).map(|i| (i % 2) as i64).collect(),
+        seq,
+    };
+    model.zero_grad();
+    let _ = model.train_step(&batch, &ForwardCtx::train_with_capture());
+    let kfac_cfg = KfacConfig {
+        damping: 1e-2,
+        curvature_interval: 1,
+        inversion_interval: 1,
+        ..Default::default()
+    };
+    let param = format!("{n_layers}L_d{d_model}");
+    let mut run_step = |threads: usize, mode: &str| {
+        let snapshot = model.clone();
+        let cfg = kfac_cfg.clone();
+        bench_leg(c, "kfac_step", mode, &param, threads, move || {
+            let mut m = snapshot.clone();
+            let mut opt = Kfac::new(cfg.clone(), Lamb::new(0.01));
+            opt.step(&mut m, 1e-3);
+            black_box(&m);
         });
-    }
-    group.finish();
+    };
+    run_step(1, "serial");
+    run_step(par_threads, "parallel");
 }
 
-criterion_group!(benches, bench_gemm, bench_curvature, bench_inversion, bench_precondition);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // The acceptance target compares ≥4 threads against serial; on hosts
+    // with fewer cores the extra threads just oversubscribe, and the JSON
+    // records the core count so ≈1× speedups are interpretable.
+    let par_threads = par::max_threads().max(4);
+
+    bench_gemm(&mut c, par_threads);
+    bench_gram(&mut c, par_threads);
+    bench_kfac_step(&mut c, par_threads);
+
+    if !c.measuring() {
+        return;
+    }
+
+    // Pair serial/parallel legs into speedup records.
+    let results = c.results();
+    let mut entries = Vec::new();
+    for r in results {
+        // Ids look like "gemm/serial/768x768x768".
+        let mut parts = r.id.splitn(3, '/');
+        let (Some(group), Some(mode), Some(param)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if mode != "serial" {
+            continue;
+        }
+        let partner = format!("{group}/parallel/{param}");
+        let Some(p) = results.iter().find(|r| r.id == partner) else {
+            continue;
+        };
+        entries.push(format!(
+            concat!(
+                "    {{\"kernel\": \"{}\", \"dims\": \"{}\", \"serial_ns\": {:.1}, ",
+                "\"parallel_ns\": {:.1}, \"speedup\": {:.3}}}"
+            ),
+            group,
+            param,
+            r.median_ns,
+            p.median_ns,
+            r.median_ns / p.median_ns.max(1.0)
+        ));
+    }
+
+    // cargo runs bench executables from the package root; the JSON belongs
+    // next to the other experiment outputs in the workspace results dir.
+    let results_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results_dir).expect("create results/");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernels\",\n",
+            "  \"host_cores\": {},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"note\": \"speedup = serial_ns / parallel_ns; on a host with ",
+            "fewer cores than parallel_threads the parallel leg oversubscribes ",
+            "and speedup ~1x is expected\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        host_cores,
+        par_threads,
+        entries.join(",\n")
+    );
+    let path = format!("{results_dir}/BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    println!("wrote {path} ({} kernel pairs)", entries.len());
+}

@@ -13,13 +13,9 @@ fn bench_builders(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_build");
     for scheme in PipelineScheme::all() {
         for &d in &[4usize, 8, 16] {
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), d),
-                &d,
-                |bencher, &d| {
-                    bencher.iter(|| black_box(scheme.build(d, d)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), d), &d, |bencher, &d| {
+                bencher.iter(|| black_box(scheme.build(d, d)));
+            });
         }
     }
     group.finish();

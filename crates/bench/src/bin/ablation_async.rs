@@ -32,7 +32,10 @@ fn main() {
     let costs = setting.costs();
     println!("schedule utilization (BERT-Base costs, D=4, N_micro=4/step):");
     let sync = simulate(&PipelineScheme::OneFOneB.build(4, 4), &costs).unwrap();
-    println!("  sync 1F1B (flush every step):        {}", pct(sync.utilization()));
+    println!(
+        "  sync 1F1B (flush every step):        {}",
+        pct(sync.utilization())
+    );
     for horizon in [1usize, 4, 16] {
         let g = build_async_1f1b(4, 4, horizon);
         let tl = simulate(&g, &costs).unwrap();
@@ -47,8 +50,10 @@ fn main() {
         pct(pf.steady_utilization),
         pf.steady_refresh_steps
     );
-    println!("\nasync gradient staleness by stage (D=4): {:?} steps",
-        (0..4).map(|s| async_staleness(4, s)).collect::<Vec<_>>());
+    println!(
+        "\nasync gradient staleness by stage (D=4): {:?} steps",
+        (0..4).map(|s| async_staleness(4, s)).collect::<Vec<_>>()
+    );
 
     // (b) Optimization side: fresh vs stale gradients.
     println!("\nconvergence on the synthetic LM (tiny BERT, NVLAMB, 80 steps):");
@@ -68,7 +73,10 @@ fn main() {
             &mut model,
             &OptimizerChoice::Lamb { weight_decay: 0.01 },
             80,
-            &TrainOptions { accumulation_steps: 1, grad_delay: delay },
+            &TrainOptions {
+                accumulation_steps: 1,
+                grad_delay: delay,
+            },
         )
     };
     println!("{:>18} {:>12}", "gradient delay", "final loss");

@@ -23,8 +23,11 @@ fn main() {
     // --- K-FAC reference (Figure 3 setting). ---
     let kfac_setting = Setting::fig3(PipelineScheme::GPipe, 1);
     let kfac = assign(&kfac_setting.assign_config()).expect("kfac fits");
-    println!("K-FAC   (BERT-Base, GPipe D=4): refresh {:.1} steps steady, utilization {}",
-        kfac.steady_refresh_steps, pct(kfac.steady_utilization));
+    println!(
+        "K-FAC   (BERT-Base, GPipe D=4): refresh {:.1} steps steady, utilization {}",
+        kfac.steady_refresh_steps,
+        pct(kfac.steady_utilization)
+    );
 
     // --- Shampoo with the same pipeline. ---
     let mut shampoo_cfg = kfac_setting.assign_config();
@@ -43,7 +46,10 @@ fn main() {
     shampoo_cfg.max_steps = 512;
 
     println!("\nShampoo root work (eigendecompositions) vs granularity:");
-    println!("{:>24} | {:>12} | {:>22}", "granularity", "fits?", "steady refresh (steps)");
+    println!(
+        "{:>24} | {:>12} | {:>22}",
+        "granularity", "fits?", "steady refresh (steps)"
+    );
     for (label, granularity) in [
         ("whole stage (1)", 1usize),
         ("per block (3)", 3),
@@ -57,7 +63,11 @@ fn main() {
                 "{:>24} | {:>12} | {:>22.1}",
                 label, "yes", s.steady_refresh_steps
             ),
-            Err(AssignError::DoesNotFit { duration, largest_bubble, .. }) => println!(
+            Err(AssignError::DoesNotFit {
+                duration,
+                largest_bubble,
+                ..
+            }) => println!(
                 "{:>24} | {:>12} | chunk {:.0} ms > bubble {:.0} ms",
                 label,
                 "NO",

@@ -18,8 +18,12 @@ fn main() {
         "schedule", "first-fit refresh", "best-fit refresh"
     );
 
-    let mut rows: Vec<(String, pipefisher_pipeline::TaskGraph, pipefisher_sim::KindCost, usize)> =
-        Vec::new();
+    let mut rows: Vec<(
+        String,
+        pipefisher_pipeline::TaskGraph,
+        pipefisher_sim::KindCost,
+        usize,
+    )> = Vec::new();
     for scheme in PipelineScheme::all() {
         let setting = Setting::fig3(scheme, 1);
         rows.push((
@@ -58,10 +62,19 @@ fn main() {
         let first = run(FitStrategy::FirstFit);
         let best = run(FitStrategy::BestFit);
         let describe = |r: &Result<pipefisher_core::PipeFisherSchedule, _>| match r {
-            Ok(s) => format!("{} cold / {:.1}% util", s.refresh_steps, s.utilization * 100.0),
+            Ok(s) => format!(
+                "{} cold / {:.1}% util",
+                s.refresh_steps,
+                s.utilization * 100.0
+            ),
             Err(_) => "does not fit".to_string(),
         };
-        println!("{:<28} | {:>18} | {:>18}", label, describe(&first), describe(&best));
+        println!(
+            "{:<28} | {:>18} | {:>18}",
+            label,
+            describe(&first),
+            describe(&best)
+        );
     }
 
     println!("\ntakeaway: the steady-state refresh interval is capacity-bound (identical for");

@@ -32,17 +32,23 @@ fn main() {
     println!("(BERT-Base dims × K, Chimera D=8, one block/stage, B_micro=8, P100)\n");
     println!(
         "{:>4} {:>10} | {:>14} {:>14} | {:>12} {:>12} | {:>9} {:>9}",
-        "K", "d_ff", "inv GFLOP full", "inv GFLOP bd", "curv GF full", "curv GF bd", "ratio full", "ratio bd"
+        "K",
+        "d_ff",
+        "inv GFLOP full",
+        "inv GFLOP bd",
+        "curv GF full",
+        "curv GF bd",
+        "ratio full",
+        "ratio bd"
     );
     for k in [1usize, 2, 4, 8] {
         let arch = scaled(&base, k);
         let mk = |blockdiag: bool| {
             let mut costs = stage_costs(&arch, &hw, 1, 8, false);
             if blockdiag {
-                costs.t_curv_a =
-                    hw.gemm_time(flops::curvature_flops_per_token_blockdiag(&arch, k))
-                        * (8 * arch.seq_len) as f64
-                        / 2.0;
+                costs.t_curv_a = hw.gemm_time(flops::curvature_flops_per_token_blockdiag(&arch, k))
+                    * (8 * arch.seq_len) as f64
+                    / 2.0;
                 costs.t_curv_b = costs.t_curv_a;
                 let inv = hw.factorization_time(flops::inversion_flops_blockdiag(&arch, k));
                 costs.t_inv_a = inv / 2.0;

@@ -15,10 +15,24 @@ use pipefisher_pipeline::PipelineScheme;
 
 fn main() {
     for (idx, arch) in TransformerConfig::all().into_iter().enumerate() {
-        println!("=== Figure {}: {} (S={}), Chimera, one block/stage ===", 10 + idx, arch.name, arch.seq_len);
+        println!(
+            "=== Figure {}: {} (S={}), Chimera, one block/stage ===",
+            10 + idx,
+            arch.name,
+            arch.seq_len
+        );
         println!(
             "{:>8} {:>7} {:>3} {:>7} | {:>10} {:>6} | {:>10} {:>6} | {:>10} {:>6}",
-            "hw:", "B_micro", "D", "N_micro", "P100 thru", "ratio", "V100 thru", "ratio", "3090 thru", "ratio"
+            "hw:",
+            "B_micro",
+            "D",
+            "N_micro",
+            "P100 thru",
+            "ratio",
+            "V100 thru",
+            "ratio",
+            "3090 thru",
+            "ratio"
         );
         for b_micro in [1usize, 4, 16] {
             for d in [4usize, 8, 16, 32] {

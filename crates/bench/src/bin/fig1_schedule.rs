@@ -11,7 +11,10 @@ use pipefisher_pipeline::PipelineScheme;
 use pipefisher_sim::{simulate, Timeline};
 
 fn main() {
-    let setting = Setting { blocks_per_stage: 1, ..Setting::fig3(PipelineScheme::GPipe, 1) };
+    let setting = Setting {
+        blocks_per_stage: 1,
+        ..Setting::fig3(PipelineScheme::GPipe, 1)
+    };
     let costs = setting.costs();
     println!("=== Figure 1: GPipe w/ 4 stages, 4 micro-batches, 4 devices ===\n");
 
@@ -39,7 +42,11 @@ fn main() {
         schedule.refresh_steps
     );
     print!("{}", schedule.augmented_timeline.render_ascii(112));
-    println!("    GPU utilization: {} (baseline {})", pct(schedule.utilization), pct(schedule.utilization_baseline));
+    println!(
+        "    GPU utilization: {} (baseline {})",
+        pct(schedule.utilization),
+        pct(schedule.utilization_baseline)
+    );
     println!(
         "    step time: {:.1} ms baseline -> {:.1} ms with precondition (+{:.1}%)",
         schedule.t_step_baseline * 1e3,

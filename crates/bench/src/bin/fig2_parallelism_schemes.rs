@@ -9,8 +9,8 @@
 
 use pipefisher_core::{assign, PipeFisherConfig};
 use pipefisher_pipeline::PipelineScheme;
-use pipefisher_sim::{simulate, Interval, KindCost, Timeline, UniformCost};
 use pipefisher_pipeline::WorkKind;
+use pipefisher_sim::{simulate, Interval, KindCost, Timeline, UniformCost};
 
 fn costs() -> KindCost {
     KindCost {
@@ -31,7 +31,14 @@ fn seq_timeline(ops: &[(WorkKind, f64)]) -> Timeline {
     let mut tl = Timeline::new(1);
     let mut t = 0.0;
     for &(kind, dur) in ops {
-        tl.push(Interval { device: 0, start: t, end: t + dur, kind, stage: 0, micro_batch: None });
+        tl.push(Interval {
+            device: 0,
+            start: t,
+            end: t + dur,
+            kind,
+            stage: 0,
+            micro_batch: None,
+        });
         t += dur;
     }
     tl
@@ -43,7 +50,10 @@ fn main() {
     println!("F=forward B=backward C=curvature I=inversion P=precondition S=sync\n");
 
     println!("(i,a) no parallelism, SGD:");
-    print!("{}", seq_timeline(&[(Forward, 2.0), (Backward, 4.0)]).render_ascii(80));
+    print!(
+        "{}",
+        seq_timeline(&[(Forward, 2.0), (Backward, 4.0)]).render_ascii(80)
+    );
     println!("(i,b) no parallelism, K-FAC (curvature+inversion amortized over many steps):");
     print!(
         "{}",
@@ -71,7 +81,14 @@ fn main() {
             (Inversion(pipefisher_pipeline::Factor::A), 9.0, 11.0),
             (Precondition, 11.0, 12.0),
         ] {
-            tl.push(Interval { device: dev, start: s, end: e, kind, stage: 0, micro_batch: None });
+            tl.push(Interval {
+                device: dev,
+                start: s,
+                end: e,
+                kind,
+                stage: 0,
+                micro_batch: None,
+            });
         }
     }
     print!("{}", tl.render_ascii(80));
@@ -80,7 +97,10 @@ fn main() {
     let g = PipelineScheme::GPipe.build(2, 2);
     let base = simulate(&g, &UniformCost::new(1.0, 2.0)).unwrap();
     print!("{}", base.render_ascii(80));
-    println!("    bubbles: {:.0}% of the step", (1.0 - base.utilization()) * 100.0);
+    println!(
+        "    bubbles: {:.0}% of the step",
+        (1.0 - base.utilization()) * 100.0
+    );
 
     println!("\n(iii,b) pipeline-parallel K-FAC — PipeFisher fills the bubbles:");
     let s = assign(&PipeFisherConfig {

@@ -19,7 +19,10 @@ fn main() {
     println!("=== Figure 3: BERT-Base, D=4 (3 blocks/stage), N_micro=4, B_micro=32, P100 ===\n");
     for scheme in [PipelineScheme::GPipe, PipelineScheme::OneFOneB] {
         println!("--- {} ---", scheme.name());
-        for (label, w) in [("PipeFisher (4 GPUs, W=1)", 1), ("PipeFisher + data/inv parallel (8 GPUs, W=2)", 2)] {
+        for (label, w) in [
+            ("PipeFisher (4 GPUs, W=1)", 1),
+            ("PipeFisher + data/inv parallel (8 GPUs, W=2)", 2),
+        ] {
             let setting = Setting::fig3(scheme, w);
             let schedule = assign(&setting.assign_config()).expect("assignment fits");
             if w == 1 {

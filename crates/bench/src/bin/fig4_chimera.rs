@@ -14,7 +14,9 @@ use pipefisher_core::assign;
 use pipefisher_pipeline::WorkKind;
 
 fn main() {
-    println!("=== Figure 4: BERT-Large, Chimera D=8 (3 blocks/stage), 8 GPUs, B_micro=32, P100 ===\n");
+    println!(
+        "=== Figure 4: BERT-Large, Chimera D=8 (3 blocks/stage), 8 GPUs, B_micro=32, P100 ===\n"
+    );
     let setting = Setting::fig4();
     let schedule = assign(&setting.assign_config()).expect("assignment fits");
 

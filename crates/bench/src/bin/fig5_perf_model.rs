@@ -21,8 +21,17 @@ fn main() {
     println!("=== Figure 5: Chimera perf model, one BERT-Base block/stage, N_micro=D, P100 ===\n");
     println!(
         "{:>7} {:>3} | {:>10} {:>10} {:>10} {:>12} | {:>9} {:>9} | {:>10} {:>10} | {:>6}",
-        "B_micro", "D", "Tpipe+Tprec", "Tbubble", "+R bubble", "Ncurv+Tinv",
-        "thru base", "thru PF", "mem (GB)", "mem+R(GB)", "ratio"
+        "B_micro",
+        "D",
+        "Tpipe+Tprec",
+        "Tbubble",
+        "+R bubble",
+        "Ncurv+Tinv",
+        "thru base",
+        "thru PF",
+        "mem (GB)",
+        "mem+R(GB)",
+        "ratio"
     );
     for b_micro in [1usize, 2, 4, 8, 16, 32] {
         for d in [4usize, 8, 16, 32] {

@@ -58,19 +58,18 @@ fn main() {
 
     // NVLAMB baseline.
     let (mut trainer, mut model, _lamb_sched, kfac_sched) = make(42);
-    let lamb_run = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, STEPS);
+    let lamb_run = trainer.run(
+        &mut model,
+        &OptimizerChoice::Lamb { weight_decay: 0.01 },
+        STEPS,
+    );
 
     // K-FAC with the PipeFisher-achievable refresh interval.
     let fig6 = Setting::fig6();
     let schedule = assign(&fig6.assign_config()).expect("fig6 assignment fits");
     let refresh = schedule.steady_refresh_steps.ceil().max(1.0) as usize;
     let (mut trainer, mut model, _, _) = make(42);
-    let mut trainer2 = Trainer::new(
-        trainer_sampler_clone(&mut trainer),
-        BATCH,
-        kfac_sched,
-        42,
-    );
+    let mut trainer2 = Trainer::new(trainer_sampler_clone(&mut trainer), BATCH, kfac_sched, 42);
     let kfac_run = trainer2.run(
         &mut model,
         &OptimizerChoice::Kfac {

@@ -13,7 +13,12 @@ fn main() {
     println!("=== Figure 7: LR schedules (BERT-Base Phase 1) ===\n");
     println!("{:>6} {:>12} {:>12}", "step", "NVLAMB", "K-FAC");
     for step in (0..=7_038).step_by(250) {
-        println!("{:>6} {:>12.5} {:>12.5}", step, nvlamb.lr_at(step), kfac.lr_at(step));
+        println!(
+            "{:>6} {:>12.5} {:>12.5}",
+            step,
+            nvlamb.lr_at(step),
+            kfac.lr_at(step)
+        );
     }
 
     // ASCII plot.
@@ -22,6 +27,8 @@ fn main() {
     let cols = 71;
     let max_lr = 6e-3;
     let mut grid = vec![vec![' '; cols]; rows];
+    // The row index varies per schedule, so the grid is addressed (row, col).
+    #[allow(clippy::needless_range_loop)]
     for col in 0..cols {
         let step = col * 7_038 / (cols - 1);
         for (ch, sched) in [('N', &nvlamb), ('K', &kfac)] {
@@ -33,7 +40,11 @@ fn main() {
     }
     for (i, row) in grid.iter().enumerate() {
         let lr_label = max_lr * (rows - 1 - i) as f64 / (rows - 1) as f64;
-        println!("{:>8.4} |{}", lr_label * 1e3, row.iter().collect::<String>());
+        println!(
+            "{:>8.4} |{}",
+            lr_label * 1e3,
+            row.iter().collect::<String>()
+        );
     }
     println!("{:>8} +{}", "", "-".repeat(cols));
     println!("{:>8}  0{:>35}{:>35}", "", "3519", "7038");

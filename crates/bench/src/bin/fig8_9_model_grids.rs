@@ -12,11 +12,21 @@ use pipefisher_pipeline::PipelineScheme;
 
 fn main() {
     let hw = HardwareProfile::p100();
-    for arch in [TransformerConfig::bert_base(), TransformerConfig::bert_large()] {
+    for arch in [
+        TransformerConfig::bert_base(),
+        TransformerConfig::bert_large(),
+    ] {
         let fig = if arch.name == "BERT-Base" { 8 } else { 9 };
-        println!("=== Figure {fig}: performance model, {} (one block/stage, N_micro=D, P100) ===", arch.name);
+        println!(
+            "=== Figure {fig}: performance model, {} (one block/stage, N_micro=D, P100) ===",
+            arch.name
+        );
         for scheme in [PipelineScheme::GPipe, PipelineScheme::Chimera] {
-            let family = if scheme == PipelineScheme::GPipe { "GPipe/1F1B (w/ flush)" } else { "Chimera w/ 2 pipelines" };
+            let family = if scheme == PipelineScheme::GPipe {
+                "GPipe/1F1B (w/ flush)"
+            } else {
+                "Chimera w/ 2 pipelines"
+            };
             println!("\n--- {family} ---");
             println!(
                 "{:>7} {:>3} {:>2} | {:>11} {:>10} {:>10} | {:>9} {:>6}",
@@ -55,5 +65,7 @@ fn main() {
         println!();
     }
     println!("paper shapes: Chimera throughput > GPipe/1F1B; Chimera ratio > GPipe/1F1B");
-    println!("(fewer bubbles -> less room for K-FAC work); R lowers memory + ratio, costs throughput.");
+    println!(
+        "(fewer bubbles -> less room for K-FAC work); R lowers memory + ratio, costs throughput."
+    );
 }

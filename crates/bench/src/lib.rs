@@ -39,13 +39,28 @@ impl Setting {
     /// Per-stage durations including collective costs derived from the
     /// hardware profile.
     pub fn costs(&self) -> KindCost {
-        let mut c = stage_costs(&self.arch, &self.hw, self.blocks_per_stage, self.b_micro, self.recompute);
+        let mut c = stage_costs(
+            &self.arch,
+            &self.hw,
+            self.blocks_per_stage,
+            self.b_micro,
+            self.recompute,
+        );
         let mem = self.memory();
         // Replica count for the collectives: explicit W, times Chimera's
         // built-in stage pairing.
-        let replicas = self.w * if self.scheme == PipelineScheme::Chimera { 2 } else { 1 };
-        c.t_sync_grad =
-            ring_allreduce_time(mem.m_theta, replicas, self.hw.link_bandwidth, self.hw.link_latency);
+        let replicas = self.w
+            * if self.scheme == PipelineScheme::Chimera {
+                2
+            } else {
+                1
+            };
+        c.t_sync_grad = ring_allreduce_time(
+            mem.m_theta,
+            replicas,
+            self.hw.link_bandwidth,
+            self.hw.link_latency,
+        );
         c.t_sync_curv = ring_allreduce_time(
             2.0 * mem.m_curv,
             replicas,
@@ -57,7 +72,12 @@ impl Setting {
 
     /// Per-stage memory terms.
     pub fn memory(&self) -> StageMemory {
-        stage_memory(&self.arch, self.blocks_per_stage, self.b_micro, self.recompute)
+        stage_memory(
+            &self.arch,
+            self.blocks_per_stage,
+            self.b_micro,
+            self.recompute,
+        )
     }
 
     /// The PipeFisher assignment configuration for this setting.
@@ -124,7 +144,10 @@ impl Setting {
     /// The paper's Figure 6 wall-clock setting: BERT-Base, Chimera, D=4,
     /// N_micro=4, B_micro=32, W=64 (256 GPUs), P100.
     pub fn fig6() -> Setting {
-        Setting { w: 64, ..Setting::fig3(PipelineScheme::Chimera, 1) }
+        Setting {
+            w: 64,
+            ..Setting::fig3(PipelineScheme::Chimera, 1)
+        }
     }
 }
 
@@ -174,6 +197,10 @@ mod tests {
     fn fig4_setting_is_assignable() {
         let s = Setting::fig4();
         let sched = pipefisher_core::assign(&s.assign_config()).unwrap();
-        assert!(sched.steady_utilization > 0.9, "util {}", sched.steady_utilization);
+        assert!(
+            sched.steady_utilization > 0.9,
+            "util {}",
+            sched.steady_utilization
+        );
     }
 }

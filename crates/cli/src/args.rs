@@ -34,14 +34,19 @@ pub fn hardware(s: &str) -> Result<HardwareProfile, String> {
         "p100" => Ok(HardwareProfile::p100()),
         "v100" => Ok(HardwareProfile::v100()),
         "rtx3090" => Ok(HardwareProfile::rtx3090()),
-        other => Err(format!("unknown hardware '{other}' (p100 | v100 | rtx3090)")),
+        other => Err(format!(
+            "unknown hardware '{other}' (p100 | v100 | rtx3090)"
+        )),
     }
 }
 
 /// Parses a positional integer argument.
 pub fn int(args: &[String], idx: usize, name: &str) -> Result<usize, String> {
-    let raw = args.get(idx).ok_or_else(|| format!("missing argument <{name}>"))?;
-    raw.parse().map_err(|_| format!("<{name}> must be a number, got '{raw}'"))
+    let raw = args
+        .get(idx)
+        .ok_or_else(|| format!("missing argument <{name}>"))?;
+    raw.parse()
+        .map_err(|_| format!("<{name}> must be a number, got '{raw}'"))
 }
 
 /// Whether a `--flag` is present anywhere in the arguments.
@@ -71,8 +76,10 @@ mod tests {
 
     #[test]
     fn parses_ints_and_flags() {
-        let args: Vec<String> =
-            ["8", "--json", "--seed", "42"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["8", "--json", "--seed", "42"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(int(&args, 0, "d").unwrap(), 8);
         assert!(int(&args, 9, "d").is_err());
         assert!(has_flag(&args, "--json"));

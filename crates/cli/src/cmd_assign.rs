@@ -20,10 +20,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let mut costs = stage_costs(&arch, &hw, blocks, b_micro, recompute);
     let mem = stage_memory(&arch, blocks, b_micro, recompute);
-    let replicas = w * if scheme == PipelineScheme::Chimera { 2 } else { 1 };
-    costs.t_sync_grad = ring_allreduce_time(mem.m_theta, replicas, hw.link_bandwidth, hw.link_latency);
-    costs.t_sync_curv =
-        ring_allreduce_time(2.0 * mem.m_curv, replicas, hw.link_bandwidth, hw.link_latency);
+    let replicas = w * if scheme == PipelineScheme::Chimera {
+        2
+    } else {
+        1
+    };
+    costs.t_sync_grad =
+        ring_allreduce_time(mem.m_theta, replicas, hw.link_bandwidth, hw.link_latency);
+    costs.t_sync_curv = ring_allreduce_time(
+        2.0 * mem.m_curv,
+        replicas,
+        hw.link_bandwidth,
+        hw.link_latency,
+    );
 
     let schedule = assign(&PipeFisherConfig {
         scheme,
@@ -59,7 +68,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    println!("{} / {} on {} — D={d}, B_micro={b_micro}, {blocks} block(s)/stage, W={w}", scheme.name(), arch.name, hw.name);
+    println!(
+        "{} / {} on {} — D={d}, B_micro={b_micro}, {blocks} block(s)/stage, W={w}",
+        scheme.name(),
+        arch.name,
+        hw.name
+    );
     println!(
         "baseline:   step {:.1} ms, utilization {:.1}%",
         schedule.t_step_baseline * 1e3,

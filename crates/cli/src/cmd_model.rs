@@ -47,7 +47,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    println!("{} on {} — D={d} (1 block/stage), N_micro={d}, B_micro={b_micro}", arch.name, hw.name);
+    println!(
+        "{} on {} — D={d} (1 block/stage), N_micro={d}, B_micro={b_micro}",
+        arch.name, hw.name
+    );
     println!(
         "{:<10} | {:>10} {:>11} {:>10} {:>8} {:>9}",
         "scheme", "step (ms)", "bubble (ms)", "thru", "ratio", "mem (GB)"

@@ -26,7 +26,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             build_async_1f1b(d, n, steps)
         }
         Some(name) => args::scheme(name)?.build(d, n),
-        None => return Err("missing <scheme> (gpipe | 1f1b | chimera | interleaved | async)".into()),
+        None => {
+            return Err("missing <scheme> (gpipe | 1f1b | chimera | interleaved | async)".into())
+        }
     };
     if recompute {
         graph = with_recompute(&graph);

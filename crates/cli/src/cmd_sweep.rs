@@ -1,7 +1,9 @@
 //! `pipefisher sweep` — refresh-ratio sweep across D, B_micro, hardware.
 
 use crate::args;
-use pipefisher_perfmodel::{model_step, stage_costs, stage_memory, HardwareProfile, StepModelInput};
+use pipefisher_perfmodel::{
+    model_step, stage_costs, stage_memory, HardwareProfile, StepModelInput,
+};
 use pipefisher_pipeline::PipelineScheme;
 use serde_json::json;
 
@@ -40,9 +42,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     println!("{} — Chimera, one block/stage, N_micro=D", arch.name);
-    println!("{:>8} {:>4} {:>8} | {:>10} {:>7}", "hw", "D", "B_micro", "thru", "ratio");
+    println!(
+        "{:>8} {:>4} {:>8} | {:>10} {:>7}",
+        "hw", "D", "B_micro", "thru", "ratio"
+    );
     for (hw, d, b, thru, ratio) in records {
-        println!("{:>8} {:>4} {:>8} | {:>10.1} {:>7.2}", hw, d, b, thru, ratio);
+        println!(
+            "{:>8} {:>4} {:>8} | {:>10.1} {:>7.2}",
+            hw, d, b, thru, ratio
+        );
     }
     Ok(())
 }

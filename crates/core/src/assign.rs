@@ -70,7 +70,11 @@ impl fmt::Display for AssignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AssignError::Schedule(e) => write!(f, "schedule error: {e}"),
-            AssignError::DoesNotFit { kind, duration, largest_bubble } => write!(
+            AssignError::DoesNotFit {
+                kind,
+                duration,
+                largest_bubble,
+            } => write!(
                 f,
                 "{kind} chunk of {duration:.3} exceeds largest bubble {largest_bubble:.3}"
             ),
@@ -213,7 +217,12 @@ struct FreeList {
 
 impl FreeList {
     fn new(pattern: Vec<(f64, f64)>, t_step: f64) -> Self {
-        FreeList { pattern, segments: Vec::new(), next_step: 0, t_step }
+        FreeList {
+            pattern,
+            segments: Vec::new(),
+            next_step: 0,
+            t_step,
+        }
     }
 
     fn extend_one_step(&mut self) {
@@ -385,7 +394,10 @@ pub fn assign_graph(
     costs: &KindCost,
     opts: &GraphAssignOptions,
 ) -> Result<PipeFisherSchedule, AssignError> {
-    assert!(opts.w > 0 && opts.max_steps > 0, "assign_graph: zero option");
+    assert!(
+        opts.w > 0 && opts.max_steps > 0,
+        "assign_graph: zero option"
+    );
     if let Some(p) = &opts.device_pairing {
         assert_eq!(p.len(), graph.n_devices(), "assign_graph: pairing length");
     }
@@ -393,8 +405,16 @@ pub fn assign_graph(
     let d = graph.n_devices();
     let t_pipe = base.makespan();
     let pair_split = opts.device_pairing.is_some();
-    let sync_grad = if opts.w > 1 || opts.always_sync_grad { costs.t_sync_grad } else { 0.0 };
-    let sync_curv = if opts.w > 1 || pair_split { costs.t_sync_curv } else { 0.0 };
+    let sync_grad = if opts.w > 1 || opts.always_sync_grad {
+        costs.t_sync_grad
+    } else {
+        0.0
+    };
+    let sync_curv = if opts.w > 1 || pair_split {
+        costs.t_sync_curv
+    } else {
+        0.0
+    };
     let inv_split = opts.w * if pair_split { 2 } else { 1 };
 
     // Stages hosted per device and their micro-batches (from the schedule).
@@ -475,8 +495,11 @@ pub fn assign_graph(
     for iv in base.intervals() {
         // Rule 1 (§3.1): A-factor curvature after the pass that produced
         // the activations — the forward normally, the recompute under R.
-        let a_releaser =
-            if opts.recompute_releases_a { WorkKind::Recompute } else { WorkKind::Forward };
+        let a_releaser = if opts.recompute_releases_a {
+            WorkKind::Recompute
+        } else {
+            WorkKind::Forward
+        };
         let (factor, t_curv) = match iv.kind {
             k if k == a_releaser => (Factor::A, costs.t_curv_a),
             WorkKind::Backward => (Factor::B, costs.t_curv_b),
@@ -500,8 +523,8 @@ pub fn assign_graph(
 
     let mut placements: Vec<PlacedWork> = Vec::new();
     let place_chunk = |free: &mut Vec<FreeList>,
-                           chunk: &Chunk,
-                           placements: &mut Vec<PlacedWork>|
+                       chunk: &Chunk,
+                       placements: &mut Vec<PlacedWork>|
      -> Result<f64, AssignError> {
         let fl = &mut free[chunk.device];
         if chunk.duration > fl.largest_pattern_segment() + 1e-9 {
@@ -513,7 +536,9 @@ pub fn assign_graph(
         }
         let (start, end) = fl
             .place(chunk.release, chunk.duration, opts.max_steps, opts.fit)
-            .ok_or(AssignError::HorizonExceeded { max_steps: opts.max_steps })?;
+            .ok_or(AssignError::HorizonExceeded {
+                max_steps: opts.max_steps,
+            })?;
         placements.push(PlacedWork {
             device: chunk.device,
             stage: chunk.stage,
@@ -661,8 +686,7 @@ pub fn assign_graph(
     let steady_utilization = steady_busy / (t_step * d as f64);
     // The baseline optimizer performs the same sync-grad, so it counts as
     // busy time in both utilizations (NCCL kernels execute on the GPU).
-    let std_busy: f64 =
-        (0..d).map(|dev| base.device_busy(dev)).sum::<f64>() + sync_grad * d as f64;
+    let std_busy: f64 = (0..d).map(|dev| base.device_busy(dev)).sum::<f64>() + sync_grad * d as f64;
     let utilization_baseline = std_busy / (t_step_baseline * d as f64);
 
     Ok(PipeFisherSchedule {
@@ -715,8 +739,12 @@ mod tests {
     #[test]
     fn gpipe_assignment_improves_utilization() {
         let s = assign(&cfg(PipelineScheme::GPipe, 4, 4, 1, 1.0)).unwrap();
-        assert!(s.utilization > s.utilization_baseline + 0.1,
-            "util {} vs baseline {}", s.utilization, s.utilization_baseline);
+        assert!(
+            s.utilization > s.utilization_baseline + 0.1,
+            "util {} vs baseline {}",
+            s.utilization,
+            s.utilization_baseline
+        );
         assert!(s.augmented_timeline.is_overlap_free(1e-9));
     }
 
@@ -726,8 +754,16 @@ mod tests {
             let s = assign(&cfg(scheme, 4, 4, 1, 1.0)).unwrap();
             let problems = s.check_invariants();
             assert!(problems.is_empty(), "{}: {problems:?}", scheme.name());
-            assert!(s.augmented_timeline.is_overlap_free(1e-9), "{}", scheme.name());
-            assert!(s.refresh_steps >= 1 && s.refresh_steps <= 8, "{}", scheme.name());
+            assert!(
+                s.augmented_timeline.is_overlap_free(1e-9),
+                "{}",
+                scheme.name()
+            );
+            assert!(
+                s.refresh_steps >= 1 && s.refresh_steps <= 8,
+                "{}",
+                scheme.name()
+            );
             assert!(s.utilization > s.utilization_baseline, "{}", scheme.name());
         }
     }
@@ -741,7 +777,10 @@ mod tests {
         // Per device: n_micro·(t_curv_a + t_curv_b) + t_inv_a + t_inv_b,
         // summed over 4 devices (1 stage each).
         let expect = 4.0 * (4.0 * 0.8 + 1.2);
-        assert!((placed - expect).abs() < 1e-9, "placed {placed}, expect {expect}");
+        assert!(
+            (placed - expect).abs() < 1e-9,
+            "placed {placed}, expect {expect}"
+        );
     }
 
     #[test]
@@ -815,8 +854,14 @@ mod tests {
         };
         assert!((inv_time(&w2) - inv_time(&w1) / 2.0).abs() < 1e-9);
         // Sync work appears only with replicas.
-        assert!(w2.placements.iter().any(|p| p.kind == WorkKind::SyncCurvature));
-        assert!(!w1.placements.iter().any(|p| p.kind == WorkKind::SyncCurvature));
+        assert!(w2
+            .placements
+            .iter()
+            .any(|p| p.kind == WorkKind::SyncCurvature));
+        assert!(!w1
+            .placements
+            .iter()
+            .any(|p| p.kind == WorkKind::SyncCurvature));
         // And the augmented timeline covers D·W devices.
         assert_eq!(w2.augmented_timeline.n_devices(), 8);
     }
@@ -865,7 +910,10 @@ mod tests {
                 .sum()
         };
         assert!((inv_time(&paired) - inv_time(&plain) / 2.0).abs() < 1e-9);
-        assert!(paired.placements.iter().any(|p| p.kind == WorkKind::SyncCurvature));
+        assert!(paired
+            .placements
+            .iter()
+            .any(|p| p.kind == WorkKind::SyncCurvature));
         // Chimera always pays sync-grad (stage replicas across pipelines).
         assert!(plain.t_step_baseline > plain.base_timeline.makespan());
     }
@@ -875,7 +923,10 @@ mod tests {
         let mut c = cfg(PipelineScheme::GPipe, 4, 4, 1, 1.0);
         c.costs.t_inv_a = 1e6;
         match assign(&c) {
-            Err(AssignError::DoesNotFit { kind: WorkKind::Inversion(Factor::A), .. }) => {}
+            Err(AssignError::DoesNotFit {
+                kind: WorkKind::Inversion(Factor::A),
+                ..
+            }) => {}
             other => panic!("expected DoesNotFit, got {other:?}"),
         }
     }

@@ -128,7 +128,10 @@ mod tests {
             0.01,
             1,
         );
-        assert!(mean(&losses[35..]) < mean(&losses[..5]) - 0.2, "no learning");
+        assert!(
+            mean(&losses[35..]) < mean(&losses[..5]) - 0.2,
+            "no learning"
+        );
         assert!(losses.iter().all(|l| l.is_finite()));
     }
 
@@ -150,7 +153,10 @@ mod tests {
             0.01,
             2,
         );
-        assert!(mean(&losses[35..]) < mean(&losses[..5]) - 0.2, "no learning");
+        assert!(
+            mean(&losses[35..]) < mean(&losses[..5]) - 0.2,
+            "no learning"
+        );
     }
 
     #[test]

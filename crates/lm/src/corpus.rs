@@ -40,7 +40,13 @@ impl SyntheticLanguage {
             "need > {branching} tokens per topic, have {} / {n_topics}",
             regular
         );
-        SyntheticLanguage { vocab_size, n_topics, branching, first_regular, seed }
+        SyntheticLanguage {
+            vocab_size,
+            n_topics,
+            branching,
+            first_regular,
+            seed,
+        }
     }
 
     /// Vocabulary size including special tokens.
@@ -162,7 +168,10 @@ mod tests {
             let s = l.sentence(topic, 32, &mut rng);
             let start = crate::special_tokens::COUNT + topic * l.cluster_size();
             let end = start + l.cluster_size();
-            assert!(s.iter().all(|&t| (start..end).contains(&t)), "topic {topic}");
+            assert!(
+                s.iter().all(|&t| (start..end).contains(&t)),
+                "topic {topic}"
+            );
         }
     }
 

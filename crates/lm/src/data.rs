@@ -36,7 +36,11 @@ impl BatchSampler {
     /// Panics if `seq_len < 8` (too short to host both sentences + specials).
     pub fn new(language: SyntheticLanguage, seq_len: usize) -> Self {
         assert!(seq_len >= 8, "seq_len must be at least 8, got {seq_len}");
-        BatchSampler { language, seq_len, mask_prob: 0.15 }
+        BatchSampler {
+            language,
+            seq_len,
+            mask_prob: 0.15,
+        }
     }
 
     /// Overrides the masking probability (default 0.15).
@@ -106,7 +110,13 @@ impl BatchSampler {
             token_ids.extend_from_slice(&seq);
             segment_ids.extend_from_slice(&segs);
         }
-        PreTrainingBatch { token_ids, segment_ids, mlm_targets, nsp_targets, seq: s }
+        PreTrainingBatch {
+            token_ids,
+            segment_ids,
+            mlm_targets,
+            nsp_targets,
+            seq: s,
+        }
     }
 }
 

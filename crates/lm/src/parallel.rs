@@ -21,7 +21,10 @@ use rand::SeedableRng;
 /// Panics if the batch size is not divisible by `w`.
 pub fn shard_batch(batch: &PreTrainingBatch, w: usize) -> Vec<PreTrainingBatch> {
     let total = batch.batch_size();
-    assert!(w > 0 && total % w == 0, "shard_batch: {total} sequences not divisible by {w}");
+    assert!(
+        w > 0 && total.is_multiple_of(w),
+        "shard_batch: {total} sequences not divisible by {w}"
+    );
     let per = total / w;
     let s = batch.seq;
     (0..w)
@@ -162,8 +165,10 @@ mod tests {
         let batch = s.sample(8, &mut rng);
         let shards = shard_batch(&batch, 4);
         assert_eq!(shards.len(), 4);
-        let rebuilt: Vec<usize> =
-            shards.iter().flat_map(|b| b.token_ids.iter().copied()).collect();
+        let rebuilt: Vec<usize> = shards
+            .iter()
+            .flat_map(|b| b.token_ids.iter().copied())
+            .collect();
         assert_eq!(rebuilt, batch.token_ids);
         for sh in &shards {
             assert_eq!(sh.batch_size(), 2);
@@ -173,16 +178,8 @@ mod tests {
     #[test]
     fn replicas_stay_in_sync() {
         let s = sampler();
-        let (_losses, mut replicas) = train_data_parallel(
-            &s,
-            2,
-            8,
-            5,
-            &LrSchedule::Constant(1e-2),
-            0.01,
-            7,
-            8,
-        );
+        let (_losses, mut replicas) =
+            train_data_parallel(&s, 2, 8, 5, &LrSchedule::Constant(1e-2), 0.01, 7, 8);
         assert!(replicas_in_sync(&mut replicas));
     }
 
@@ -194,28 +191,20 @@ mod tests {
         // sequences from one stream, so a batch of 8 sharded in two equals
         // two accumulated batches of 4.
         let s = sampler();
-        let (_l2, mut dp) = train_data_parallel(
-            &s,
-            2,
-            8,
-            4,
-            &LrSchedule::Constant(5e-3),
-            0.0,
-            7,
-            8,
-        );
+        let (_l2, mut dp) =
+            train_data_parallel(&s, 2, 8, 4, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
         let mut trainer = crate::Trainer::new(sampler(), 4, LrSchedule::Constant(5e-3), 8);
         let mut rng = StdRng::seed_from_u64(7);
-        let mut single = BertForPreTraining::new(
-            pipefisher_nn::BertConfig::tiny(36, 16),
-            0.0,
-            &mut rng,
-        );
+        let mut single =
+            BertForPreTraining::new(pipefisher_nn::BertConfig::tiny(36, 16), 0.0, &mut rng);
         let _ = trainer.run_with_options(
             &mut single,
             &crate::OptimizerChoice::Lamb { weight_decay: 0.0 },
             4,
-            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+            &crate::TrainOptions {
+                accumulation_steps: 2,
+                grad_delay: 0,
+            },
         );
         let mut a = Vec::new();
         dp[0].visit_params(&mut |p| a.push(p.value.clone()));
@@ -237,10 +226,8 @@ mod tests {
         // (per-shard MLM means weight masked tokens differently), but the
         // training *trajectory* must stay close.
         let s = sampler();
-        let (l2, _) =
-            train_data_parallel(&s, 2, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
-        let (l1, _) =
-            train_data_parallel(&s, 1, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
+        let (l2, _) = train_data_parallel(&s, 2, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
+        let (l1, _) = train_data_parallel(&s, 1, 8, 10, &LrSchedule::Constant(5e-3), 0.0, 7, 8);
         for (a, b) in l1.iter().zip(l2.iter()) {
             assert!((a - b).abs() < 0.15, "loss curves diverged: {a} vs {b}");
         }

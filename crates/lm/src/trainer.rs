@@ -1,8 +1,9 @@
 //! Pretraining loops with loss tracking (the Figure 6 machinery).
 
 use crate::BatchSampler;
-use pipefisher_nn::{BertForPreTraining, ForwardCtx};
+use pipefisher_nn::{BertForPreTraining, ForwardCtx, PreTrainingBatch};
 use pipefisher_optim::{Kfac, KfacConfig, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig};
+use pipefisher_tensor::par;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,7 +87,10 @@ pub struct TrainOptions {
 
 impl Default for TrainOptions {
     fn default() -> Self {
-        TrainOptions { accumulation_steps: 1, grad_delay: 0 }
+        TrainOptions {
+            accumulation_steps: 1,
+            grad_delay: 0,
+        }
     }
 }
 
@@ -102,7 +106,12 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer drawing `batch_size`-sequence batches.
     pub fn new(sampler: BatchSampler, batch_size: usize, schedule: LrSchedule, seed: u64) -> Self {
-        Trainer { sampler, batch_size, schedule, data_rng: StdRng::seed_from_u64(seed) }
+        Trainer {
+            sampler,
+            batch_size,
+            schedule,
+            data_rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Trains `model` for `steps` steps with gradient accumulation and/or
@@ -120,7 +129,10 @@ impl Trainer {
         steps: usize,
         opts: &TrainOptions,
     ) -> TrainRun {
-        assert!(opts.accumulation_steps > 0, "accumulation_steps must be positive");
+        assert!(
+            opts.accumulation_steps > 0,
+            "accumulation_steps must be positive"
+        );
         if opts.grad_delay > 0 {
             assert!(
                 matches!(choice, OptimizerChoice::Lamb { .. }),
@@ -132,6 +144,32 @@ impl Trainer {
             return self.run_accumulated(model, choice, steps, opts.accumulation_steps);
         }
         self.run(model, choice, steps)
+    }
+
+    /// Samples the step's micro-batches up front (serially, preserving the
+    /// data RNG stream) with the forward context each one should use.
+    fn sample_micro_batches(
+        &mut self,
+        accumulation: usize,
+        capture_last: bool,
+    ) -> Vec<(PreTrainingBatch, ForwardCtx)> {
+        (0..accumulation)
+            .map(|acc| {
+                // Capture curvature statistics on the last micro-batch of a
+                // refresh step (a fresh sample of the same distribution, as
+                // PipeFisher's per-step curvature uses one step's
+                // micro-batches).
+                let ctx = if capture_last && acc == accumulation - 1 {
+                    ForwardCtx::train_with_capture()
+                } else {
+                    ForwardCtx::train()
+                };
+                (
+                    self.sampler.sample(self.batch_size, &mut self.data_rng),
+                    ctx,
+                )
+            })
+            .collect()
     }
 
     fn run_accumulated(
@@ -150,63 +188,54 @@ impl Trainer {
                 let mut losses = Vec::with_capacity(steps);
                 for step in 0..steps {
                     model.zero_grad();
-                    let mut loss = 0.0;
-                    for _ in 0..accumulation {
-                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                        loss += model.train_step(&batch, &ForwardCtx::train()).total_loss;
-                    }
+                    let batches = self.sample_micro_batches(accumulation, false);
+                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
                     model.visit_params(&mut |p| p.grad.scale_inplace(scale));
                     losses.push(loss * scale);
                     let lr = self.schedule.lr_at(step);
                     opt.begin_step();
                     model.visit_params(&mut |p| opt.step_param(p, lr));
                 }
-                TrainRun { losses, label: "NVLAMB".to_string() }
+                TrainRun {
+                    losses,
+                    label: "NVLAMB".to_string(),
+                }
             }
             OptimizerChoice::Kfac { weight_decay, kfac } => {
                 let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
                 let mut losses = Vec::with_capacity(steps);
                 for step in 0..steps {
                     model.zero_grad();
-                    let refresh = step as u64 % kfac.curvature_interval as u64 == 0;
-                    let mut loss = 0.0;
-                    for acc in 0..accumulation {
-                        // Capture curvature statistics on the last
-                        // micro-batch of a refresh step (a fresh sample of
-                        // the same distribution, as PipeFisher's per-step
-                        // curvature uses one step's micro-batches).
-                        let ctx = if refresh && acc == accumulation - 1 {
-                            ForwardCtx::train_with_capture()
-                        } else {
-                            ForwardCtx::train()
-                        };
-                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                        loss += model.train_step(&batch, &ctx).total_loss;
-                    }
+                    let refresh = (step as u64).is_multiple_of(kfac.curvature_interval as u64);
+                    let batches = self.sample_micro_batches(accumulation, refresh);
+                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
                     model.visit_params(&mut |p| p.grad.scale_inplace(scale));
                     losses.push(loss * scale);
                     let lr = self.schedule.lr_at(step);
                     opt.step(model, lr);
                 }
-                TrainRun { losses, label: "K-FAC".to_string() }
+                TrainRun {
+                    losses,
+                    label: "K-FAC".to_string(),
+                }
             }
             OptimizerChoice::Shampoo { shampoo } => {
                 let mut opt = Shampoo::new(shampoo.clone());
                 let mut losses = Vec::with_capacity(steps);
                 for step in 0..steps {
                     model.zero_grad();
-                    let mut loss = 0.0;
-                    for _ in 0..accumulation {
-                        let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                        loss += model.train_step(&batch, &ForwardCtx::train()).total_loss;
-                    }
+                    let batches = self.sample_micro_batches(accumulation, false);
+                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
                     model.visit_params(&mut |p| p.grad.scale_inplace(scale));
                     losses.push(loss * scale);
                     let lr = self.schedule.lr_at(step);
                     opt.begin_step();
                     model.visit_params(&mut |p| opt.step_param(p, lr));
                 }
-                TrainRun { losses, label: "Shampoo".to_string() }
+                TrainRun {
+                    losses,
+                    label: "Shampoo".to_string(),
+                }
             }
         }
     }
@@ -218,7 +247,9 @@ impl Trainer {
         steps: usize,
         opts: &TrainOptions,
     ) -> TrainRun {
-        let OptimizerChoice::Lamb { weight_decay } = choice else { unreachable!() };
+        let OptimizerChoice::Lamb { weight_decay } = choice else {
+            unreachable!()
+        };
         let mut opt = Lamb::new(*weight_decay);
         let mut losses = Vec::with_capacity(steps);
         // Queue of delayed gradients: (name → grad) snapshots.
@@ -245,7 +276,10 @@ impl Trainer {
                 model.visit_params(&mut |p| opt.step_param(p, lr));
             }
         }
-        TrainRun { losses, label: format!("NVLAMB (grad delay {})", opts.grad_delay) }
+        TrainRun {
+            losses,
+            label: format!("NVLAMB (grad delay {})", opts.grad_delay),
+        }
     }
 
     /// Trains `model` for `steps` steps, returning the loss history.
@@ -268,7 +302,10 @@ impl Trainer {
                     opt.begin_step();
                     model.visit_params(&mut |p| opt.step_param(p, lr));
                 }
-                TrainRun { losses, label: "NVLAMB".to_string() }
+                TrainRun {
+                    losses,
+                    label: "NVLAMB".to_string(),
+                }
             }
             OptimizerChoice::Kfac { weight_decay, kfac } => {
                 let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
@@ -278,8 +315,7 @@ impl Trainer {
                     model.zero_grad();
                     // Capture activations/errors only on curvature-refresh
                     // steps (what PipeFisher's bubble schedule computes).
-                    let refresh =
-                        step as u64 % kfac.curvature_interval as u64 == 0;
+                    let refresh = (step as u64).is_multiple_of(kfac.curvature_interval as u64);
                     let ctx = if refresh {
                         ForwardCtx::train_with_capture()
                     } else {
@@ -290,7 +326,10 @@ impl Trainer {
                     let lr = self.schedule.lr_at(step);
                     opt.step(model, lr);
                 }
-                TrainRun { losses, label: "K-FAC".to_string() }
+                TrainRun {
+                    losses,
+                    label: "K-FAC".to_string(),
+                }
             }
             OptimizerChoice::Shampoo { shampoo } => {
                 let mut opt = Shampoo::new(shampoo.clone());
@@ -304,10 +343,93 @@ impl Trainer {
                     opt.begin_step();
                     model.visit_params(&mut |p| opt.step_param(p, lr));
                 }
-                TrainRun { losses, label: "Shampoo".to_string() }
+                TrainRun {
+                    losses,
+                    label: "Shampoo".to_string(),
+                }
             }
         }
     }
+}
+
+/// Runs one step's micro-batches, accumulating gradients into `model`, and
+/// returns each micro-batch's total loss in micro-batch index order.
+///
+/// With a single worker lane (`PIPEFISHER_THREADS=1`, one available core, or
+/// a single micro-batch) this is exactly the serial loop the trainer has
+/// always run, so single-threaded results are bitwise unchanged. With more
+/// lanes the micro-batches split into contiguous blocks, each block runs on
+/// a clone of `model`, and the replica gradients merge back into `model` in
+/// block order via `axpy(1.0, ·)` (a ×1.0 multiply is exact, so the merge
+/// adds no rounding beyond its summation order). Runs are deterministic for
+/// a fixed thread count, but the block-wise gradient association differs
+/// from the serial order, so multi-thread runs are not bitwise equal to
+/// single-thread runs. Dropout must be inactive (p = 0, as the pretraining
+/// reproduction uses) — active dropout would draw from per-replica RNG
+/// streams and diverge from the serial stream.
+fn accumulate_micro_batches(
+    model: &mut BertForPreTraining,
+    batches: &[(PreTrainingBatch, ForwardCtx)],
+) -> Vec<f64> {
+    let n = batches.len();
+    let lanes = par::max_threads().min(n);
+    if lanes <= 1 {
+        return batches
+            .iter()
+            .map(|(batch, ctx)| model.train_step(batch, ctx).total_loss)
+            .collect();
+    }
+    // Lane w runs micro-batches [bounds[w], bounds[w+1]). Lane 0 uses
+    // `model` itself; lanes 1.. use clones taken now, after `zero_grad`, so
+    // every replica's grads start at zero and end holding its block's sum.
+    let bounds: Vec<usize> = (0..=lanes).map(|w| w * n / lanes).collect();
+    let mut replicas: Vec<BertForPreTraining> = (1..lanes).map(|_| model.clone()).collect();
+    let mut losses = vec![0.0; n];
+    {
+        let mut lane_models: Vec<&mut BertForPreTraining> = Vec::with_capacity(lanes);
+        lane_models.push(&mut *model);
+        lane_models.extend(replicas.iter_mut());
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(lanes);
+        let mut loss_rest: &mut [f64] = &mut losses;
+        for (w, m) in lane_models.into_iter().enumerate() {
+            let (start, end) = (bounds[w], bounds[w + 1]);
+            let (block_losses, rest) = loss_rest.split_at_mut(end - start);
+            loss_rest = rest;
+            let block = &batches[start..end];
+            tasks.push(Box::new(move || {
+                for ((batch, ctx), slot) in block.iter().zip(block_losses.iter_mut()) {
+                    *slot = m.train_step(batch, ctx).total_loss;
+                }
+            }));
+        }
+        par::run_tasks(tasks);
+    }
+    // Merge replica gradients into the primary model in block order.
+    for replica in replicas.iter_mut() {
+        let mut grads: Vec<pipefisher_tensor::Matrix> = Vec::new();
+        replica.visit_params(&mut |p| grads.push(std::mem::take(&mut p.grad)));
+        let mut idx = 0;
+        model.visit_params(&mut |p| {
+            p.grad.axpy(1.0, &grads[idx]);
+            idx += 1;
+        });
+    }
+    // K-FAC statistics captured by a replica's block must move to the
+    // primary model (lane 0's captures already live there).
+    for (w, replica) in replicas.iter_mut().enumerate() {
+        let block = &batches[bounds[w + 1]..bounds[w + 2]];
+        if !block.iter().any(|(_, ctx)| ctx.capture_kfac) {
+            continue;
+        }
+        let mut stats = Vec::new();
+        replica.visit_linears(&mut |l| stats.push(std::mem::take(l.kfac_stats_mut())));
+        let mut idx = 0;
+        model.visit_linears(&mut |l| {
+            *l.kfac_stats_mut() = std::mem::take(&mut stats[idx]);
+            idx += 1;
+        });
+    }
+    losses
 }
 
 #[cfg(test)]
@@ -328,7 +450,11 @@ mod tests {
     #[test]
     fn lamb_training_reduces_loss() {
         let (mut trainer, mut model) = quick_setup(1);
-        let run = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, 30);
+        let run = trainer.run(
+            &mut model,
+            &OptimizerChoice::Lamb { weight_decay: 0.01 },
+            30,
+        );
         assert_eq!(run.losses.len(), 30);
         let first = run.smoothed(5)[2];
         let last = run.final_loss(5);
@@ -392,7 +518,10 @@ mod tests {
             &mut model,
             &OptimizerChoice::Lamb { weight_decay: 0.01 },
             20,
-            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+            &crate::TrainOptions {
+                accumulation_steps: 2,
+                grad_delay: 0,
+            },
         );
         assert_eq!(run.losses.len(), 20);
         assert!(run.losses.iter().all(|l| l.is_finite()));
@@ -415,7 +544,10 @@ mod tests {
             &mut model,
             &choice,
             20,
-            &crate::TrainOptions { accumulation_steps: 2, grad_delay: 0 },
+            &crate::TrainOptions {
+                accumulation_steps: 2,
+                grad_delay: 0,
+            },
         );
         assert!(run.final_loss(5) < run.smoothed(5)[2]);
     }
@@ -425,15 +557,25 @@ mod tests {
         // App. C.1: asynchronous pipelines trade bubble-free throughput for
         // stale gradients. A modest delay must still converge…
         let (mut t_fresh, mut m_fresh) = quick_setup(6);
-        let fresh = t_fresh.run(&mut m_fresh, &OptimizerChoice::Lamb { weight_decay: 0.0 }, 40);
+        let fresh = t_fresh.run(
+            &mut m_fresh,
+            &OptimizerChoice::Lamb { weight_decay: 0.0 },
+            40,
+        );
         let (mut t_stale, mut m_stale) = quick_setup(6);
         let stale = t_stale.run_with_options(
             &mut m_stale,
             &OptimizerChoice::Lamb { weight_decay: 0.0 },
             40,
-            &crate::TrainOptions { accumulation_steps: 1, grad_delay: 4 },
+            &crate::TrainOptions {
+                accumulation_steps: 1,
+                grad_delay: 4,
+            },
         );
-        assert!(stale.final_loss(7) < stale.smoothed(7)[3], "stale run did not learn");
+        assert!(
+            stale.final_loss(7) < stale.smoothed(7)[3],
+            "stale run did not learn"
+        );
         // …but not faster than the synchronous baseline.
         assert!(stale.final_loss(7) >= fresh.final_loss(7) - 0.05);
         assert!(stale.label.contains("delay 4"));
@@ -443,13 +585,93 @@ mod tests {
     #[should_panic(expected = "asynchronous first-order")]
     fn stale_kfac_is_rejected() {
         let (mut trainer, mut model) = quick_setup(7);
-        let choice = OptimizerChoice::Kfac { weight_decay: 0.0, kfac: KfacConfig::default() };
+        let choice = OptimizerChoice::Kfac {
+            weight_decay: 0.0,
+            kfac: KfacConfig::default(),
+        };
         let _ = trainer.run_with_options(
             &mut model,
             &choice,
             5,
-            &crate::TrainOptions { accumulation_steps: 1, grad_delay: 2 },
+            &crate::TrainOptions {
+                accumulation_steps: 1,
+                grad_delay: 2,
+            },
         );
+    }
+
+    /// Serializes tests that mutate the process-wide worker-pool settings.
+    fn par_settings_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        match LOCK.get_or_init(|| std::sync::Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn parallel_accumulation_first_step_loss_matches_serial() {
+        let _guard = par_settings_lock();
+        // Within one step no parameters change between micro-batches, so
+        // every lane computes exactly the loss the serial loop would, and
+        // the index-order sum makes step 0's loss bitwise equal across
+        // thread counts. (Later steps may drift in the last bits: the
+        // block-order gradient merge changes the FP association.)
+        let run_at = |threads: usize| {
+            par::set_max_threads(threads);
+            let (mut trainer, mut model) = quick_setup(12);
+            let run = trainer.run_with_options(
+                &mut model,
+                &OptimizerChoice::Lamb { weight_decay: 0.01 },
+                1,
+                &crate::TrainOptions {
+                    accumulation_steps: 4,
+                    grad_delay: 0,
+                },
+            );
+            par::set_max_threads(0);
+            run.losses[0]
+        };
+        let serial = run_at(1);
+        let parallel = run_at(2);
+        assert!(
+            serial.to_bits() == parallel.to_bits(),
+            "step-0 loss differs: {serial:?} vs {parallel:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_accumulated_runs_are_deterministic() {
+        let _guard = par_settings_lock();
+        // Two identical multi-step accumulated runs at a fixed thread count
+        // must agree exactly, K-FAC capture included.
+        let run_once = || {
+            let (mut trainer, mut model) = quick_setup(13);
+            let choice = OptimizerChoice::Kfac {
+                weight_decay: 0.01,
+                kfac: KfacConfig {
+                    damping: 1e-2,
+                    curvature_interval: 2,
+                    inversion_interval: 2,
+                    ..Default::default()
+                },
+            };
+            trainer.run_with_options(
+                &mut model,
+                &choice,
+                6,
+                &crate::TrainOptions {
+                    accumulation_steps: 3,
+                    grad_delay: 0,
+                },
+            )
+        };
+        par::set_max_threads(2);
+        let r1 = run_once();
+        let r2 = run_once();
+        par::set_max_threads(0);
+        assert_eq!(r1.losses, r2.losses);
+        assert!(r1.losses.iter().all(|l| l.is_finite()));
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, dout: &Matrix) -> Matrix {
-        let x = self.input.as_ref().expect("Activation::backward before forward");
+        let x = self
+            .input
+            .as_ref()
+            .expect("Activation::backward before forward");
         assert_eq!(x.shape(), dout.shape(), "Activation: dout shape");
         x.zip_with(dout, |xv, dv| self.grad(xv) * dv)
     }

@@ -55,7 +55,7 @@ impl MultiHeadAttention {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(
-            n_heads > 0 && d_model % n_heads == 0,
+            n_heads > 0 && d_model.is_multiple_of(n_heads),
             "MultiHeadAttention: d_model {d_model} not divisible by n_heads {n_heads}"
         );
         MultiHeadAttention {
@@ -114,7 +114,14 @@ impl MultiHeadAttention {
     }
 
     /// Adds `block` into the `(b, h)` sub-block of `m`.
-    fn add_head_block(m: &mut Matrix, block: &Matrix, b: usize, h: usize, seq: usize, d_head: usize) {
+    fn add_head_block(
+        m: &mut Matrix,
+        block: &Matrix,
+        b: usize,
+        h: usize,
+        seq: usize,
+        d_head: usize,
+    ) {
         for s in 0..seq {
             let dst = &mut m.row_mut(b * seq + s)[h * d_head..(h + 1) * d_head];
             for (d, &x) in dst.iter_mut().zip(block.row(s).iter()) {
@@ -160,13 +167,30 @@ impl Layer for MultiHeadAttention {
                 probs.push(scores);
             }
         }
-        self.cache = Some(AttnCache { batch, seq, q_out, k_out, v_out, probs });
+        self.cache = Some(AttnCache {
+            batch,
+            seq,
+            q_out,
+            k_out,
+            v_out,
+            probs,
+        });
         self.o.forward(&concat, ctx)
     }
 
     fn backward(&mut self, dout: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("MultiHeadAttention::backward before forward");
-        let AttnCache { batch, seq, q_out, k_out, v_out, probs } = cache;
+        let cache = self
+            .cache
+            .take()
+            .expect("MultiHeadAttention::backward before forward");
+        let AttnCache {
+            batch,
+            seq,
+            q_out,
+            k_out,
+            v_out,
+            probs,
+        } = cache;
         let (dh, nh) = (self.d_head, self.n_heads);
         let scale = 1.0 / (dh as f64).sqrt();
 

@@ -32,22 +32,50 @@ pub struct BertConfig {
 impl BertConfig {
     /// BERT-Base: L=12, d_model=768, d_ff=3072, h=12 (Table 3).
     pub fn base() -> Self {
-        BertConfig { vocab_size: 30_522, max_seq: 512, d_model: 768, d_ff: 3072, n_heads: 12, n_layers: 12 }
+        BertConfig {
+            vocab_size: 30_522,
+            max_seq: 512,
+            d_model: 768,
+            d_ff: 3072,
+            n_heads: 12,
+            n_layers: 12,
+        }
     }
 
     /// BERT-Large: L=24, d_model=1024, d_ff=4096, h=16 (Table 3).
     pub fn large() -> Self {
-        BertConfig { vocab_size: 30_522, max_seq: 512, d_model: 1024, d_ff: 4096, n_heads: 16, n_layers: 24 }
+        BertConfig {
+            vocab_size: 30_522,
+            max_seq: 512,
+            d_model: 1024,
+            d_ff: 4096,
+            n_heads: 16,
+            n_layers: 24,
+        }
     }
 
     /// A CPU-trainable model for convergence experiments.
     pub fn tiny(vocab_size: usize, max_seq: usize) -> Self {
-        BertConfig { vocab_size, max_seq, d_model: 32, d_ff: 64, n_heads: 2, n_layers: 2 }
+        BertConfig {
+            vocab_size,
+            max_seq,
+            d_model: 32,
+            d_ff: 64,
+            n_heads: 2,
+            n_layers: 2,
+        }
     }
 
     /// A slightly larger CPU-trainable model.
     pub fn mini(vocab_size: usize, max_seq: usize) -> Self {
-        BertConfig { vocab_size, max_seq, d_model: 64, d_ff: 128, n_heads: 4, n_layers: 4 }
+        BertConfig {
+            vocab_size,
+            max_seq,
+            d_model: 64,
+            d_ff: 128,
+            n_heads: 4,
+            n_layers: 4,
+        }
     }
 
     /// Parameters per encoder block (attention q/k/v/o + FFN + 2 LayerNorms).
@@ -90,7 +118,11 @@ impl BertModel {
                 )
             })
             .collect();
-        BertModel { config, embedding, blocks }
+        BertModel {
+            config,
+            embedding,
+            blocks,
+        }
     }
 
     /// Model configuration.
@@ -169,11 +201,7 @@ pub struct PreTrainingBatch {
 impl PreTrainingBatch {
     /// Number of sequences in the batch.
     pub fn batch_size(&self) -> usize {
-        if self.seq == 0 {
-            0
-        } else {
-            self.token_ids.len() / self.seq
-        }
+        self.token_ids.len().checked_div(self.seq).unwrap_or(0)
     }
 }
 
@@ -373,10 +401,22 @@ mod tests {
         let token_ids: Vec<usize> = (0..n).map(|i| i % vocab).collect();
         let segment_ids: Vec<usize> = (0..n).map(|i| ((i % seq) >= seq / 2) as usize).collect();
         let mlm_targets: Vec<i64> = (0..n)
-            .map(|i| if i % 5 == 0 { (i % vocab) as i64 } else { IGNORE_INDEX })
+            .map(|i| {
+                if i % 5 == 0 {
+                    (i % vocab) as i64
+                } else {
+                    IGNORE_INDEX
+                }
+            })
             .collect();
         let nsp_targets: Vec<i64> = (0..batch).map(|b| (b % 2) as i64).collect();
-        PreTrainingBatch { token_ids, segment_ids, mlm_targets, nsp_targets, seq }
+        PreTrainingBatch {
+            token_ids,
+            segment_ids,
+            mlm_targets,
+            nsp_targets,
+            seq,
+        }
     }
 
     #[test]
@@ -401,7 +441,12 @@ mod tests {
         let batch = toy_batch(8, 4, vocab);
         let out = model.eval_loss(&batch);
         let uniform = (vocab as f64).ln();
-        assert!((out.mlm_loss - uniform).abs() < 1.0, "mlm {} vs ln V {}", out.mlm_loss, uniform);
+        assert!(
+            (out.mlm_loss - uniform).abs() < 1.0,
+            "mlm {} vs ln V {}",
+            out.mlm_loss,
+            uniform
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! decoder-only LM used by the causal-LM workloads.
 
 use crate::{
-    cross_entropy_backward, cross_entropy_loss, Dropout, Embedding, FeedForward, ForwardCtx,
-    Layer, LayerNorm, Linear, MultiHeadAttention, ParamVisitor, IGNORE_INDEX,
+    cross_entropy_backward, cross_entropy_loss, Dropout, Embedding, FeedForward, ForwardCtx, Layer,
+    LayerNorm, Linear, MultiHeadAttention, ParamVisitor, IGNORE_INDEX,
 };
 use pipefisher_tensor::Matrix;
 use rand::Rng;
@@ -171,7 +171,12 @@ impl GptForCausalLm {
     /// # Panics
     ///
     /// Panics if `token_ids.len()` is not a multiple of `seq`.
-    pub fn train_step(&mut self, token_ids: &[usize], seq: usize, ctx: &ForwardCtx) -> CausalLmOutput {
+    pub fn train_step(
+        &mut self,
+        token_ids: &[usize],
+        seq: usize,
+        ctx: &ForwardCtx,
+    ) -> CausalLmOutput {
         let ctx = ctx.with_seq_len(seq);
         let segments = vec![0usize; token_ids.len()];
         let mut h = self.embedding.forward(token_ids, &segments, seq, &ctx);
@@ -202,7 +207,10 @@ impl GptForCausalLm {
             dh = b.backward(&dh);
         }
         self.embedding.backward(&dh);
-        CausalLmOutput { loss: result.loss, count: result.count }
+        CausalLmOutput {
+            loss: result.loss,
+            count: result.count,
+        }
     }
 
     /// Visits every trainable parameter.
@@ -307,7 +315,10 @@ mod tests {
         }
         model.zero_grad();
         let last = model.train_step(&tokens, seq, &ForwardCtx::eval()).loss;
-        assert!(last < first * 0.5, "causal LM did not learn: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "causal LM did not learn: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -23,8 +23,15 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
-        Dropout { p, state: seed | 1, mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            state: seed | 1,
+            mask: None,
+        }
     }
 
     /// Drop probability.
@@ -50,7 +57,11 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Matrix::zeros(x.rows(), x.cols());
         for v in mask.as_mut_slice() {
-            *v = if self.next_uniform() < keep { scale } else { 0.0 };
+            *v = if self.next_uniform() < keep {
+                scale
+            } else {
+                0.0
+            };
         }
         let out = x.hadamard(&mask);
         self.mask = Some(mask);
@@ -88,7 +99,10 @@ mod tests {
         let y = d.forward(&x, &ForwardCtx::train());
         let kept = y.as_slice().iter().filter(|&&v| v > 0.0).count();
         // All kept values are scaled by 2.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
         // Keep rate ≈ 0.5.
         let rate = kept as f64 / 2500.0;
         assert!((rate - 0.5).abs() < 0.05, "keep rate {rate}");

@@ -42,7 +42,10 @@ impl Embedding {
                 format!("{name}.position"),
                 init::bert_normal(max_seq, d_model, rng),
             ),
-            segment: Parameter::new(format!("{name}.segment"), init::bert_normal(2, d_model, rng)),
+            segment: Parameter::new(
+                format!("{name}.segment"),
+                init::bert_normal(2, d_model, rng),
+            ),
             ln: LayerNorm::new(&format!("{name}.ln"), d_model),
             dropout: Dropout::new(dropout_p, 0xE4B_0001),
             cache: None,
@@ -84,13 +87,24 @@ impl Embedding {
         ctx: &ForwardCtx,
     ) -> Matrix {
         assert_eq!(token_ids.len(), segment_ids.len(), "Embedding: id lengths");
-        assert!(seq > 0 && token_ids.len() % seq == 0, "Embedding: rows not multiple of seq");
-        assert!(seq <= self.max_seq(), "Embedding: seq {} > max {}", seq, self.max_seq());
+        assert!(
+            seq > 0 && token_ids.len().is_multiple_of(seq),
+            "Embedding: rows not multiple of seq"
+        );
+        assert!(
+            seq <= self.max_seq(),
+            "Embedding: seq {} > max {}",
+            seq,
+            self.max_seq()
+        );
         let n = token_ids.len();
         let d = self.d_model();
         let mut x = Matrix::zeros(n, d);
         for (i, (&tok, &segid)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {
-            assert!(tok < self.vocab_size(), "Embedding: token id {tok} out of range");
+            assert!(
+                tok < self.vocab_size(),
+                "Embedding: token id {tok} out of range"
+            );
             assert!(segid < 2, "Embedding: segment id {segid} out of range");
             let pos = i % seq;
             let row = x.row_mut(i);
@@ -115,8 +129,10 @@ impl Embedding {
     pub fn backward(&mut self, dout: &Matrix) {
         let dout = self.dropout.backward(dout);
         let dsum = self.ln.backward(&dout);
-        let (token_ids, segment_ids) =
-            self.cache.take().expect("Embedding::backward before forward");
+        let (token_ids, segment_ids) = self
+            .cache
+            .take()
+            .expect("Embedding::backward before forward");
         let seq = self.cached_seq;
         let d = self.d_model();
         for (i, (&tok, &segid)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {

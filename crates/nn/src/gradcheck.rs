@@ -73,7 +73,12 @@ pub fn check_layer_grads<L: Layer>(
             entries += 1;
             idx += stride;
         }
-        reports.push(GradCheckReport { name, max_abs_diff: max_abs, max_rel_diff: max_rel, entries });
+        reports.push(GradCheckReport {
+            name,
+            max_abs_diff: max_abs,
+            max_rel_diff: max_rel,
+            entries,
+        });
     }
     reports
 }

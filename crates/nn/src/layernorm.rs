@@ -63,27 +63,29 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, dout: &Matrix) -> Matrix {
-        let (xhat, inv_std) = self.cache.as_ref().expect("LayerNorm::backward before forward");
+        let (xhat, inv_std) = self
+            .cache
+            .as_ref()
+            .expect("LayerNorm::backward before forward");
         let (n, d) = xhat.shape();
         assert_eq!(dout.shape(), (n, d), "LayerNorm: dout shape");
         let gamma = self.gain.value.row(0).to_vec();
         let mut dgamma = vec![0.0; d];
         let mut dbeta = vec![0.0; d];
         let mut dx = Matrix::zeros(n, d);
-        for r in 0..n {
+        for (r, &istd) in inv_std.iter().enumerate() {
             let xh = xhat.row(r);
             let dy = dout.row(r);
             // dŷ projected through γ.
             let dxhat: Vec<f64> = (0..d).map(|c| dy[c] * gamma[c]).collect();
             let sum_dxhat: f64 = dxhat.iter().sum();
             let sum_dxhat_xhat: f64 = dxhat.iter().zip(xh.iter()).map(|(&a, &b)| a * b).sum();
-            let istd = inv_std[r];
             let dxr = dx.row_mut(r);
             for c in 0..d {
                 dgamma[c] += dy[c] * xh[c];
                 dbeta[c] += dy[c];
-                dxr[c] = istd / d as f64
-                    * (d as f64 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
+                dxr[c] =
+                    istd / d as f64 * (d as f64 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
             }
         }
         self.gain.accumulate_grad(&Matrix::from_vec(1, d, dgamma));
@@ -108,7 +110,12 @@ mod tests {
         let y = ln.forward(&x, &ForwardCtx::eval());
         for r in 0..2 {
             let mean: f64 = y.row(r).iter().sum::<f64>() / 4.0;
-            let var: f64 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            let var: f64 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / 4.0;
             assert!(mean.abs() < 1e-10);
             assert!((var - 1.0).abs() < 1e-6);
         }

@@ -76,17 +76,29 @@ pub struct ForwardCtx {
 impl ForwardCtx {
     /// Training context without K-FAC capture.
     pub fn train() -> Self {
-        ForwardCtx { training: true, capture_kfac: false, seq_len: 0 }
+        ForwardCtx {
+            training: true,
+            capture_kfac: false,
+            seq_len: 0,
+        }
     }
 
     /// Training context with K-FAC capture enabled.
     pub fn train_with_capture() -> Self {
-        ForwardCtx { training: true, capture_kfac: true, seq_len: 0 }
+        ForwardCtx {
+            training: true,
+            capture_kfac: true,
+            seq_len: 0,
+        }
     }
 
     /// Inference context (no dropout, no capture).
     pub fn eval() -> Self {
-        ForwardCtx { training: false, capture_kfac: false, seq_len: 0 }
+        ForwardCtx {
+            training: false,
+            capture_kfac: false,
+            seq_len: 0,
+        }
     }
 
     /// Returns the context with the given sequence length.
@@ -101,9 +113,13 @@ impl ForwardCtx {
     ///
     /// Panics if `rows` is not a multiple of the configured sequence length.
     pub fn effective_seq_len(&self, rows: usize) -> usize {
-        let s = if self.seq_len == 0 { rows } else { self.seq_len };
+        let s = if self.seq_len == 0 {
+            rows
+        } else {
+            self.seq_len
+        };
         assert!(
-            s > 0 && rows % s == 0,
+            s > 0 && rows.is_multiple_of(s),
             "rows ({rows}) not a multiple of seq_len ({s})"
         );
         s

@@ -64,16 +64,34 @@ pub struct Linear {
 impl Linear {
     /// Creates a layer with Xavier-uniform weights and zero bias.
     pub fn new(name: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
-        let weight = Parameter::new(format!("{name}.weight"), init::xavier_uniform(d_in, d_out, rng));
+        let weight = Parameter::new(
+            format!("{name}.weight"),
+            init::xavier_uniform(d_in, d_out, rng),
+        );
         let bias = Parameter::new(format!("{name}.bias"), Matrix::zeros(1, d_out));
-        Linear { weight, bias, input: None, stats: KfacBatchStats::default(), kfac_enabled: true }
+        Linear {
+            weight,
+            bias,
+            input: None,
+            stats: KfacBatchStats::default(),
+            kfac_enabled: true,
+        }
     }
 
     /// Creates a layer with BERT-style `N(0, 0.02²)` weights and zero bias.
     pub fn new_bert(name: &str, d_in: usize, d_out: usize, rng: &mut impl Rng) -> Self {
-        let weight = Parameter::new(format!("{name}.weight"), init::bert_normal(d_in, d_out, rng));
+        let weight = Parameter::new(
+            format!("{name}.weight"),
+            init::bert_normal(d_in, d_out, rng),
+        );
         let bias = Parameter::new(format!("{name}.bias"), Matrix::zeros(1, d_out));
-        Linear { weight, bias, input: None, stats: KfacBatchStats::default(), kfac_enabled: true }
+        Linear {
+            weight,
+            bias,
+            input: None,
+            stats: KfacBatchStats::default(),
+            kfac_enabled: true,
+        }
     }
 
     /// Disables K-FAC capture for this layer (used for the final
@@ -93,7 +111,10 @@ impl Linear {
     /// Unique name of this layer (the weight parameter's name without the
     /// trailing `.weight`).
     pub fn name(&self) -> &str {
-        self.weight.name.strip_suffix(".weight").unwrap_or(&self.weight.name)
+        self.weight
+            .name
+            .strip_suffix(".weight")
+            .unwrap_or(&self.weight.name)
     }
 
     /// Input dimensionality.
@@ -169,8 +190,16 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, dout: &Matrix) -> Matrix {
-        let x = self.input.as_ref().expect("Linear::backward before forward");
-        assert_eq!(dout.shape(), (x.rows(), self.d_out()), "Linear {}: dout shape", self.name());
+        let x = self
+            .input
+            .as_ref()
+            .expect("Linear::backward before forward");
+        assert_eq!(
+            dout.shape(),
+            (x.rows(), self.d_out()),
+            "Linear {}: dout shape",
+            self.name()
+        );
         if self.kfac_enabled && self.stats.activations.is_some() {
             self.stats.errors = Some(dout.clone());
         }

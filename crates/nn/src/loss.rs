@@ -47,7 +47,10 @@ pub fn cross_entropy_loss(logits: &Matrix, targets: &[i64]) -> CrossEntropyResul
         total -= lp[(r, t)];
         count += 1;
     }
-    CrossEntropyResult { loss: if count > 0 { total / count as f64 } else { 0.0 }, count }
+    CrossEntropyResult {
+        loss: if count > 0 { total / count as f64 } else { 0.0 },
+        count,
+    }
 }
 
 /// Gradient of the mean cross-entropy w.r.t. `logits`:
@@ -58,7 +61,11 @@ pub fn cross_entropy_loss(logits: &Matrix, targets: &[i64]) -> CrossEntropyResul
 ///
 /// Panics if lengths mismatch or a non-ignored target is out of range.
 pub fn cross_entropy_backward(logits: &Matrix, targets: &[i64]) -> Matrix {
-    assert_eq!(logits.rows(), targets.len(), "cross_entropy_backward: row count");
+    assert_eq!(
+        logits.rows(),
+        targets.len(),
+        "cross_entropy_backward: row count"
+    );
     let count = targets.iter().filter(|&&t| t != IGNORE_INDEX).count();
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     if count == 0 {
@@ -71,7 +78,10 @@ pub fn cross_entropy_backward(logits: &Matrix, targets: &[i64]) -> Matrix {
             continue;
         }
         let t = usize::try_from(t).expect("cross_entropy_backward: negative target");
-        assert!(t < logits.cols(), "cross_entropy_backward: target {t} out of range");
+        assert!(
+            t < logits.cols(),
+            "cross_entropy_backward: target {t} out of range"
+        );
         let dst = grad.row_mut(r);
         dst.copy_from_slice(p.row(r));
         for v in dst.iter_mut() {

@@ -23,7 +23,11 @@ impl Parameter {
     /// Creates a parameter with a zero gradient of matching shape.
     pub fn new(name: impl Into<String>, value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Parameter { name: name.into(), value, grad }
+        Parameter {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     /// `(rows, cols)` of the parameter.

@@ -137,7 +137,16 @@ fn full_pretraining_model_grads_subsampled() {
     let batch = PreTrainingBatch {
         token_ids: vec![1, 2, 3, 4, 5, 6, 7, 8],
         segment_ids: vec![0, 0, 1, 1, 0, 0, 1, 1],
-        mlm_targets: vec![2, IGNORE_INDEX, IGNORE_INDEX, 5, IGNORE_INDEX, 7, IGNORE_INDEX, 1],
+        mlm_targets: vec![
+            2,
+            IGNORE_INDEX,
+            IGNORE_INDEX,
+            5,
+            IGNORE_INDEX,
+            7,
+            IGNORE_INDEX,
+            1,
+        ],
         nsp_targets: vec![0, 1],
         seq: 4,
     };

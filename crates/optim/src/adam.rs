@@ -24,7 +24,14 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer with the given hyperparameters.
     pub fn new(beta1: f64, beta2: f64, eps: f64, weight_decay: f64) -> Self {
-        Adam { beta1, beta2, eps, weight_decay, t: 0, moments: HashMap::new() }
+        Adam {
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            moments: HashMap::new(),
+        }
     }
 
     /// Current step count (for bias correction).
@@ -35,15 +42,12 @@ impl Adam {
     /// Computes the bias-corrected Adam direction for one parameter without
     /// applying it (shared with [`crate::Lamb`]).
     pub(crate) fn direction(&mut self, p: &Parameter) -> Matrix {
-        let (m, v) = self
-            .moments
-            .entry(p.name.clone())
-            .or_insert_with(|| {
-                (
-                    Matrix::zeros(p.value.rows(), p.value.cols()),
-                    Matrix::zeros(p.value.rows(), p.value.cols()),
-                )
-            });
+        let (m, v) = self.moments.entry(p.name.clone()).or_insert_with(|| {
+            (
+                Matrix::zeros(p.value.rows(), p.value.cols()),
+                Matrix::zeros(p.value.rows(), p.value.cols()),
+            )
+        });
         m.scale_inplace(self.beta1);
         m.axpy(1.0 - self.beta1, &p.grad);
         let g2 = p.grad.hadamard(&p.grad);
@@ -70,7 +74,10 @@ impl Optimizer for Adam {
     }
 
     fn step_param(&mut self, p: &mut Parameter, lr: f64) {
-        assert!(self.t > 0, "Adam: begin_step must be called before step_param");
+        assert!(
+            self.t > 0,
+            "Adam: begin_step must be called before step_param"
+        );
         let mut dir = self.direction(p);
         if self.weight_decay > 0.0 {
             dir.axpy(self.weight_decay, &p.value);

@@ -20,7 +20,7 @@
 
 use crate::Optimizer;
 use pipefisher_nn::{Linear, ParamVisitor, Parameter};
-use pipefisher_tensor::{cholesky_inverse, Matrix};
+use pipefisher_tensor::{cholesky_inverse, par, Matrix};
 use std::collections::HashMap;
 
 /// Hyperparameters for [`Kfac`].
@@ -179,7 +179,12 @@ pub struct Kfac<O: Optimizer> {
 impl<O: Optimizer> Kfac<O> {
     /// Creates a K-FAC optimizer over the given fallback.
     pub fn new(config: KfacConfig, fallback: O) -> Self {
-        Kfac { config, fallback, states: HashMap::new(), t: 0 }
+        Kfac {
+            config,
+            fallback,
+            states: HashMap::new(),
+            t: 0,
+        }
     }
 
     /// Current step count.
@@ -200,48 +205,105 @@ impl<O: Optimizer> Kfac<O> {
     }
 
     /// Runs one optimization step. See the type-level docs for the phases.
+    ///
+    /// Phases 1–3 are independent across layers (curvature, inversion, and
+    /// preconditioning each touch only one layer's factors and gradients),
+    /// so they run as one task per layer on the shared worker pool
+    /// ([`pipefisher_tensor::par`]). The KL-clip statistic is reduced in
+    /// layer-visitation order afterwards, so results are bitwise identical
+    /// to the serial schedule at any thread count.
     pub fn step(&mut self, model: &mut dyn KfacModel, lr: f64) {
         self.t += 1;
         let t = self.t;
-        let refresh_curv = (t - 1) % self.config.curvature_interval as u64 == 0;
-        let refresh_inv = (t - 1) % self.config.inversion_interval as u64 == 0;
+        let refresh_curv = (t - 1).is_multiple_of(self.config.curvature_interval as u64);
+        let refresh_inv = (t - 1).is_multiple_of(self.config.inversion_interval as u64);
 
-        // Phase 1+2: curvature and inversion.
+        // Pair each layer with its owned state, in visitation order. The
+        // raw pointers let the borrow of `model` be split across tasks;
+        // the visitor contract guarantees each layer is visited once, so
+        // the pointers are disjoint.
         let states = &mut self.states;
-        let config = &self.config;
+        let mut slots: Vec<LayerSlot> = Vec::new();
         model.visit_kfac_linears(&mut |lin: &mut Linear| {
-            let state = states.entry(lin.name().to_string()).or_default();
-            if refresh_curv {
-                update_curvature(state, lin, config.ema_decay, t);
-            }
-            lin.kfac_stats_mut().clear();
-            if refresh_inv && state.factor_a.is_some() {
-                update_inverses(state, config.damping, config.factor_block_size, t);
-            }
+            let state = states.remove(lin.name()).unwrap_or_default();
+            slots.push(LayerSlot {
+                lin: LinPtr(lin as *mut Linear),
+                state,
+                vdot: 0.0,
+            });
         });
+        debug_assert!(
+            {
+                let mut ptrs: Vec<*mut Linear> = slots.iter().map(|s| s.lin.0).collect();
+                ptrs.sort();
+                ptrs.windows(2).all(|w| w[0] != w[1])
+            },
+            "visit_kfac_linears visited a layer twice"
+        );
 
-        // Phase 3: precondition. First pass rewrites gradients and collects
-        // the KL-clip statistic Σ ⟨g, g̃⟩; second pass applies the scale.
-        let mut vsum = 0.0;
-        model.visit_kfac_linears(&mut |lin: &mut Linear| {
-            let state = states.entry(lin.name().to_string()).or_default();
-            if state.ready() {
-                vsum += precondition(state, lin);
-            }
-        });
+        // Phases 1–3, one task per layer: fold captured statistics into the
+        // factors (if due), refresh the damped inverses (if due), and
+        // rewrite the gradient to B⁻¹ Ḡ A⁻¹ with the freshest inverses.
+        let config = &self.config;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .map(|slot| {
+                Box::new(move || {
+                    // SAFETY: each slot points at a distinct layer (checked
+                    // above), and `model` is not touched while tasks run.
+                    let lin = unsafe { &mut *slot.lin.0 };
+                    if refresh_curv {
+                        update_curvature(&mut slot.state, lin, config.ema_decay, t);
+                    }
+                    lin.kfac_stats_mut().clear();
+                    if refresh_inv && slot.state.factor_a.is_some() {
+                        update_inverses(
+                            &mut slot.state,
+                            config.damping,
+                            config.factor_block_size,
+                            t,
+                        );
+                    }
+                    if slot.state.ready() {
+                        slot.vdot = precondition(&slot.state, lin);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        par::run_tasks(tasks);
+
+        // KL clipping: Σ ⟨g, g̃⟩ reduced in visitation order (bitwise equal
+        // to the serial accumulation), then one rescale pass per layer.
+        let vsum: f64 = slots.iter().map(|s| s.vdot).fold(0.0, |acc, v| acc + v);
         if let Some(kappa) = self.config.kl_clip {
             let denom = lr * lr * vsum;
             if denom > kappa {
                 let scale = (kappa / denom).sqrt();
-                model.visit_kfac_linears(&mut |lin: &mut Linear| {
-                    let state = states.entry(lin.name().to_string()).or_default();
-                    if state.ready() {
-                        let (w, b, _) = lin.kfac_parts_mut();
-                        w.grad.scale_inplace(scale);
-                        b.grad.scale_inplace(scale);
-                    }
-                });
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .iter_mut()
+                    .filter(|slot| slot.state.ready())
+                    .map(|slot| {
+                        Box::new(move || {
+                            // SAFETY: as above — disjoint layers.
+                            let lin = unsafe { &mut *slot.lin.0 };
+                            let (w, b, _) = lin.kfac_parts_mut();
+                            w.grad.scale_inplace(scale);
+                            b.grad.scale_inplace(scale);
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                par::run_tasks(tasks);
             }
+        }
+
+        // Hand the states back before touching `model` again.
+        for slot in slots {
+            let name = {
+                // SAFETY: tasks have joined; this is the only live alias.
+                let lin = unsafe { &*slot.lin.0 };
+                lin.name().to_string()
+            };
+            states.insert(name, slot.state);
         }
 
         // Phase 4: fallback update over all parameters.
@@ -249,6 +311,22 @@ impl<O: Optimizer> Kfac<O> {
         let fallback = &mut self.fallback;
         model.visit_all_params(&mut |p: &mut Parameter| fallback.step_param(p, lr));
     }
+}
+
+/// Raw layer pointer that may cross thread boundaries: every task owns a
+/// distinct layer, so concurrent access is disjoint.
+struct LinPtr(*mut Linear);
+
+// SAFETY: see [`LinPtr`] — pointees are disjoint per task and `Linear` has
+// no thread affinity.
+unsafe impl Send for LinPtr {}
+
+/// One layer's share of a [`Kfac::step`]: the layer, its owned state, and
+/// the KL-clip contribution it produced.
+struct LayerSlot {
+    lin: LinPtr,
+    state: LayerKfacState,
+    vdot: f64,
 }
 
 /// Folds a layer's captured batch statistics into its Kronecker factors.
@@ -335,8 +413,8 @@ fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
     let mut gbar = Matrix::zeros(d_out, d_in + 1);
     for o in 0..d_out {
         let row = gbar.row_mut(o);
-        for i in 0..d_in {
-            row[i] = w.grad[(i, o)];
+        for (i, slot) in row[..d_in].iter_mut().enumerate() {
+            *slot = w.grad[(i, o)];
         }
         row[d_in] = b.grad[(0, o)];
     }
@@ -348,8 +426,8 @@ fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
 
     for o in 0..d_out {
         let row = pre.row(o);
-        for i in 0..d_in {
-            w.grad[(i, o)] = row[i];
+        for (i, &v) in row[..d_in].iter().enumerate() {
+            w.grad[(i, o)] = v;
         }
         b.grad[(0, o)] = row[d_in];
     }
@@ -360,9 +438,7 @@ fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
 mod tests {
     use super::*;
     use crate::Sgd;
-    use pipefisher_nn::{
-        cross_entropy_backward, cross_entropy_loss, ForwardCtx, Layer,
-    };
+    use pipefisher_nn::{cross_entropy_backward, cross_entropy_loss, ForwardCtx, Layer};
     use pipefisher_tensor::init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -513,7 +589,11 @@ mod tests {
             let mut lin = Linear::new("fc", d, classes, &mut rng);
             let mut sgd = Sgd::new(0.0, 0.0);
             let mut kfac = Kfac::new(
-                KfacConfig { damping: 1e-2, kl_clip: None, ..Default::default() },
+                KfacConfig {
+                    damping: 1e-2,
+                    kl_clip: None,
+                    ..Default::default()
+                },
                 Sgd::new(0.0, 0.0),
             );
             let mut loss = f64::NAN;
@@ -587,7 +667,11 @@ mod tests {
         let x = init::normal(16, 3, 1.0, &mut rng);
         let targets: Vec<i64> = (0..16).map(|i| (i % 4) as i64).collect();
         let mut kfac = Kfac::new(
-            KfacConfig { factor_block_size: Some(2), damping: 1e-2, ..Default::default() },
+            KfacConfig {
+                factor_block_size: Some(2),
+                damping: 1e-2,
+                ..Default::default()
+            },
             crate::Sgd::new(0.0, 0.0),
         );
         use pipefisher_nn::Layer as _;
@@ -618,7 +702,11 @@ mod tests {
             let x = init::normal(8, 3, 1.0, &mut rng);
             let targets = vec![0i64, 1, 0, 1, 0, 1, 0, 1];
             let mut kfac = Kfac::new(
-                KfacConfig { factor_block_size: block, kl_clip: None, ..Default::default() },
+                KfacConfig {
+                    factor_block_size: block,
+                    kl_clip: None,
+                    ..Default::default()
+                },
                 crate::Sgd::new(0.0, 0.0),
             );
             use pipefisher_nn::Layer as _;
@@ -642,7 +730,11 @@ mod tests {
         let targets = vec![0i64, 1, 0, 1];
         let kappa = 1e-4;
         let mut kfac = Kfac::new(
-            KfacConfig { kl_clip: Some(kappa), damping: 1e-4, ..Default::default() },
+            KfacConfig {
+                kl_clip: Some(kappa),
+                damping: 1e-4,
+                ..Default::default()
+            },
             Sgd::new(0.0, 0.0),
         );
         use pipefisher_nn::Layer as _;

@@ -56,7 +56,10 @@ impl Optimizer for Lamb {
     }
 
     fn step_param(&mut self, p: &mut Parameter, lr: f64) {
-        assert!(self.inner.step_count() > 0, "Lamb: begin_step must be called before step_param");
+        assert!(
+            self.inner.step_count() > 0,
+            "Lamb: begin_step must be called before step_param"
+        );
         let mut update = self.inner.direction(p);
         if self.weight_decay > 0.0 {
             update.axpy(self.weight_decay, &p.value);

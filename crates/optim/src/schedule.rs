@@ -50,7 +50,12 @@ impl LrSchedule {
     pub fn lr_at(&self, step: usize) -> f64 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::PolyWithWarmup { base_lr, warmup_steps, total_steps, power } => {
+            LrSchedule::PolyWithWarmup {
+                base_lr,
+                warmup_steps,
+                total_steps,
+                power,
+            } => {
                 if warmup_steps > 0 && step < warmup_steps {
                     base_lr * (step + 1) as f64 / warmup_steps as f64
                 } else if step >= total_steps {
@@ -101,7 +106,10 @@ mod tests {
             assert!(kfac.lr_at(step) > nvlamb.lr_at(step), "step {step}");
         }
         for step in [2_000, 3_000, 7_000] {
-            assert!((kfac.lr_at(step) - nvlamb.lr_at(step)).abs() < 1e-15, "step {step}");
+            assert!(
+                (kfac.lr_at(step) - nvlamb.lr_at(step)).abs() < 1e-15,
+                "step {step}"
+            );
         }
     }
 

@@ -16,7 +16,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(momentum: f64, weight_decay: f64) -> Self {
-        Sgd { momentum, weight_decay, velocity: HashMap::new() }
+        Sgd {
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Momentum coefficient.

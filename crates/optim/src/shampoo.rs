@@ -71,7 +71,11 @@ pub struct Shampoo {
 impl Shampoo {
     /// Creates a Shampoo optimizer.
     pub fn new(config: ShampooConfig) -> Self {
-        Shampoo { config, states: HashMap::new(), t: 0 }
+        Shampoo {
+            config,
+            states: HashMap::new(),
+            t: 0,
+        }
     }
 
     /// Current step count.
@@ -92,11 +96,14 @@ impl Optimizer for Shampoo {
     }
 
     fn step_param(&mut self, p: &mut Parameter, lr: f64) {
-        assert!(self.t > 0, "Shampoo: begin_step must be called before step_param");
+        assert!(
+            self.t > 0,
+            "Shampoo: begin_step must be called before step_param"
+        );
         let state = self.states.entry(p.name.clone()).or_default();
         let g = &p.grad;
-        let refresh_stats = (self.t - 1) % self.config.stats_interval as u64 == 0;
-        let refresh_roots = (self.t - 1) % self.config.root_interval as u64 == 0;
+        let refresh_stats = (self.t - 1).is_multiple_of(self.config.stats_interval as u64);
+        let refresh_roots = (self.t - 1).is_multiple_of(self.config.root_interval as u64);
 
         if refresh_stats {
             // L += G·Gᵀ (rows × rows), R += Gᵀ·G (cols × cols).
@@ -159,7 +166,10 @@ mod tests {
         let scales = Matrix::from_rows(&[&[1.0, 100.0], &[0.01, 1.0]]);
         let run = |shampoo: bool| -> f64 {
             let mut p = Parameter::new("w", Matrix::full(2, 2, 1.0));
-            let mut opt = Shampoo::new(ShampooConfig { graft_to_sgd_norm: false, ..Default::default() });
+            let mut opt = Shampoo::new(ShampooConfig {
+                graft_to_sgd_norm: false,
+                ..Default::default()
+            });
             let mut sgd = crate::Sgd::new(0.0, 0.0);
             for _ in 0..60 {
                 p.grad = quad_grad(&p, &scales);
@@ -192,13 +202,19 @@ mod tests {
         opt.begin_step();
         opt.step_param(&mut p, 1.0);
         let moved = (&p.value - &before).frobenius_norm();
-        assert!((moved - gnorm).abs() < 1e-9, "moved {moved} vs gnorm {gnorm}");
+        assert!(
+            (moved - gnorm).abs() < 1e-9,
+            "moved {moved} vs gnorm {gnorm}"
+        );
     }
 
     #[test]
     fn stale_roots_are_reused() {
         let mut p = Parameter::new("w", Matrix::full(2, 2, 1.0));
-        let mut opt = Shampoo::new(ShampooConfig { root_interval: 5, ..Default::default() });
+        let mut opt = Shampoo::new(ShampooConfig {
+            root_interval: 5,
+            ..Default::default()
+        });
         for step in 0..6u64 {
             p.grad = Matrix::full(2, 2, 1.0);
             opt.begin_step();

@@ -111,7 +111,11 @@ impl TransformerConfig {
     ///
     /// Panics if `d_model` is not divisible by `n_heads`.
     pub fn d_head(&self) -> usize {
-        assert_eq!(self.d_model % self.n_heads, 0, "d_model not divisible by heads");
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "d_model not divisible by heads"
+        );
         self.d_model / self.n_heads
     }
 
@@ -131,9 +135,15 @@ mod tests {
     #[test]
     fn table3_dims() {
         let b = TransformerConfig::bert_base();
-        assert_eq!((b.d_model, b.d_ff, b.n_heads, b.seq_len), (768, 3072, 12, 128));
+        assert_eq!(
+            (b.d_model, b.d_ff, b.n_heads, b.seq_len),
+            (768, 3072, 12, 128)
+        );
         let l = TransformerConfig::bert_large();
-        assert_eq!((l.d_model, l.d_ff, l.n_heads, l.seq_len), (1024, 4096, 16, 128));
+        assert_eq!(
+            (l.d_model, l.d_ff, l.n_heads, l.seq_len),
+            (1024, 4096, 16, 128)
+        );
         let t = TransformerConfig::t5_base();
         assert_eq!(t.seq_len, 512);
         let o = TransformerConfig::opt_350m();

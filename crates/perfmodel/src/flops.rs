@@ -171,9 +171,7 @@ mod tests {
     #[test]
     fn recompute_saves_most_activation_memory() {
         let c = TransformerConfig::bert_base();
-        assert!(
-            activation_bytes_per_token_recompute(&c) < 0.1 * activation_bytes_per_token(&c)
-        );
+        assert!(activation_bytes_per_token_recompute(&c) < 0.1 * activation_bytes_per_token(&c));
     }
 
     #[test]

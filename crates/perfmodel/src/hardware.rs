@@ -117,7 +117,11 @@ mod tests {
     #[test]
     fn factorization_is_much_slower_than_gemm() {
         for hw in HardwareProfile::all() {
-            assert!(hw.factorization_flops() < 0.3 * hw.gemm_flops(), "{}", hw.name);
+            assert!(
+                hw.factorization_flops() < 0.3 * hw.gemm_flops(),
+                "{}",
+                hw.name
+            );
         }
     }
 

@@ -197,7 +197,10 @@ pub struct StepModel {
 ///
 /// Panics if `d`, `n_micro`, or `w` is zero.
 pub fn model_step(input: &StepModelInput) -> StepModel {
-    assert!(input.d > 0 && input.n_micro > 0 && input.w > 0, "model_step: zero input");
+    assert!(
+        input.d > 0 && input.n_micro > 0 && input.w > 0,
+        "model_step: zero input"
+    );
     let c = &input.costs;
     let n = input.n_micro as f64;
     let t_b_eff = c.t_b + c.t_recompute;
@@ -215,7 +218,11 @@ pub fn model_step(input: &StepModelInput) -> StepModel {
     let t_pipe = cf * c.t_f + cb * t_b_eff;
     let t_bubble = (t_pipe - n * (c.t_f + t_b_eff)).max(0.0);
 
-    let stages_per_device = if input.scheme == PipelineScheme::Chimera { 2 } else { 1 };
+    let stages_per_device = if input.scheme == PipelineScheme::Chimera {
+        2
+    } else {
+        1
+    };
     let t_curv_total = n * c.t_curv();
     let t_inv_total = stages_per_device as f64 * c.t_inv() / input.w as f64;
 
@@ -308,7 +315,12 @@ mod tests {
         // the cost of the inversion work is relatively small."
         let small = model_step(&bert_base_input(PipelineScheme::Chimera, 8, 2));
         let large = model_step(&bert_base_input(PipelineScheme::Chimera, 8, 32));
-        assert!(large.ratio < small.ratio, "{} vs {}", large.ratio, small.ratio);
+        assert!(
+            large.ratio < small.ratio,
+            "{} vs {}",
+            large.ratio,
+            small.ratio
+        );
     }
 
     #[test]

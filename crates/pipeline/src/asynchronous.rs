@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn no_flush_between_steps() {
         let g = build_async_1f1b(4, 4, 3);
-        assert!(is_flush_free(&g, 4), "async schedule should interleave steps");
+        assert!(
+            is_flush_free(&g, 4),
+            "async schedule should interleave steps"
+        );
         // A synchronous 1F1B of one step trivially has no cross-step overlap.
         let sync = build_1f1b(4, 4);
         assert!(!is_flush_free(&sync, 4));

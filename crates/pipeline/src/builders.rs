@@ -56,7 +56,11 @@ impl PipelineScheme {
 
     /// All three schemes, for sweeps.
     pub fn all() -> [PipelineScheme; 3] {
-        [PipelineScheme::GPipe, PipelineScheme::OneFOneB, PipelineScheme::Chimera]
+        [
+            PipelineScheme::GPipe,
+            PipelineScheme::OneFOneB,
+            PipelineScheme::Chimera,
+        ]
     }
 }
 
@@ -73,9 +77,19 @@ pub fn build_gpipe(n_stages: usize, n_micro: usize) -> TaskGraph {
     // fwd[s][m], filled stage-major so deps are already pushed.
     let mut fwd = vec![vec![TaskId(0); n_micro]; n_stages];
     for s in 0..n_stages {
+        // Indexing keeps the read of `fwd[s - 1]` alongside the write of
+        // `fwd[s]`, which iterator adapters cannot express without splits.
+        #[allow(clippy::needless_range_loop)]
         for m in 0..n_micro {
             let deps = if s == 0 { vec![] } else { vec![fwd[s - 1][m]] };
-            fwd[s][m] = g.push(s, s, Some(m), WorkKind::Forward, StageAssignment::Single, deps);
+            fwd[s][m] = g.push(
+                s,
+                s,
+                Some(m),
+                WorkKind::Forward,
+                StageAssignment::Single,
+                deps,
+            );
         }
     }
     let mut bwd = vec![vec![TaskId(0); n_micro]; n_stages];
@@ -85,7 +99,14 @@ pub fn build_gpipe(n_stages: usize, n_micro: usize) -> TaskGraph {
             if s + 1 < n_stages {
                 deps.push(bwd[s + 1][m]);
             }
-            bwd[s][m] = g.push(s, s, Some(m), WorkKind::Backward, StageAssignment::Single, deps);
+            bwd[s][m] = g.push(
+                s,
+                s,
+                Some(m),
+                WorkKind::Backward,
+                StageAssignment::Single,
+                deps,
+            );
         }
     }
     g
@@ -135,11 +156,25 @@ pub fn build_1f1b(n_stages: usize, n_micro: usize) -> TaskGraph {
         for op in ops {
             match *op {
                 Op::F(m) => {
-                    let id = g.push(s, s, Some(m), WorkKind::Forward, StageAssignment::Single, vec![]);
+                    let id = g.push(
+                        s,
+                        s,
+                        Some(m),
+                        WorkKind::Forward,
+                        StageAssignment::Single,
+                        vec![],
+                    );
                     fwd[s][m] = Some(id);
                 }
                 Op::B(m) => {
-                    let id = g.push(s, s, Some(m), WorkKind::Backward, StageAssignment::Single, vec![]);
+                    let id = g.push(
+                        s,
+                        s,
+                        Some(m),
+                        WorkKind::Backward,
+                        StageAssignment::Single,
+                        vec![],
+                    );
                     bwd[s][m] = Some(id);
                 }
             }
@@ -193,8 +228,14 @@ fn wire_pipeline_deps(
 ///
 /// Panics if `n_stages` is odd or zero, or `n_micro` is odd or zero.
 pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
-    assert!(n_stages > 0 && n_stages % 2 == 0, "build_chimera: n_stages must be even");
-    assert!(n_micro > 0 && n_micro % 2 == 0, "build_chimera: n_micro must be even");
+    assert!(
+        n_stages > 0 && n_stages.is_multiple_of(2),
+        "build_chimera: n_stages must be even"
+    );
+    assert!(
+        n_micro > 0 && n_micro.is_multiple_of(2),
+        "build_chimera: n_micro must be even"
+    );
     let d = n_stages;
     let half = n_micro / 2;
 
@@ -209,10 +250,19 @@ pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
     let stream_for = |stage: usize, pipeline: StageAssignment| -> Vec<StreamOp> {
         let warmup = (d - 1 - stage).min(half);
         let steady = half - warmup;
-        let offset = if pipeline == StageAssignment::Up { half } else { 0 };
+        let offset = if pipeline == StageAssignment::Up {
+            half
+        } else {
+            0
+        };
         let mut ops = Vec::with_capacity(2 * half);
         for m in 0..warmup {
-            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: offset + m, pipeline });
+            ops.push(StreamOp {
+                kind: WorkKind::Forward,
+                stage,
+                micro_batch: offset + m,
+                pipeline,
+            });
         }
         for i in 0..steady {
             ops.push(StreamOp {
@@ -221,10 +271,20 @@ pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
                 micro_batch: offset + warmup + i,
                 pipeline,
             });
-            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: offset + i, pipeline });
+            ops.push(StreamOp {
+                kind: WorkKind::Backward,
+                stage,
+                micro_batch: offset + i,
+                pipeline,
+            });
         }
         for m in steady..half {
-            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: offset + m, pipeline });
+            ops.push(StreamOp {
+                kind: WorkKind::Backward,
+                stage,
+                micro_batch: offset + m,
+                pipeline,
+            });
         }
         ops
     };
@@ -247,12 +307,22 @@ pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
         ((p * 2 + k) * d + op.stage) * n_micro + op.micro_batch
     };
     let mut end_time = vec![f64::NAN; 4 * d * n_micro];
-    let dur = |op: &StreamOp| if op.kind == WorkKind::Forward { 1.0 } else { 2.0 };
+    let dur = |op: &StreamOp| {
+        if op.kind == WorkKind::Forward {
+            1.0
+        } else {
+            2.0
+        }
+    };
     let dep_end = |op: &StreamOp, end_time: &[f64]| -> Option<f64> {
         // F(m,s) ← F(m,s−1); B(m,s) ← {B(m,s+1), F(m,s)} within its pipeline.
         let mut latest = 0.0f64;
         let mut dep = |k: WorkKind, s: usize| -> bool {
-            let e = end_time[key(&StreamOp { kind: k, stage: s, ..*op })];
+            let e = end_time[key(&StreamOp {
+                kind: k,
+                stage: s,
+                ..*op
+            })];
             if e.is_nan() {
                 return false;
             }
@@ -344,7 +414,14 @@ pub fn build_chimera(n_stages: usize, n_micro: usize) -> TaskGraph {
     let mut bwd = vec![vec![None; n_micro]; d];
     for (dev, ops) in realized.iter().enumerate() {
         for op in ops {
-            let id = g.push(dev, op.stage, Some(op.micro_batch), op.kind, op.pipeline, vec![]);
+            let id = g.push(
+                dev,
+                op.stage,
+                Some(op.micro_batch),
+                op.kind,
+                op.pipeline,
+                vec![],
+            );
             match op.kind {
                 WorkKind::Forward => fwd[op.stage][op.micro_batch] = Some(id),
                 WorkKind::Backward => bwd[op.stage][op.micro_batch] = Some(id),
@@ -400,7 +477,10 @@ mod tests {
                 // (D−1)·T_f + N·T_f + (D−1)·T_b + N·T_b = (N+D−1)·3.
                 let expect = (n + d - 1) as f64 * 3.0;
                 let got = g.makespan(unit_cost).unwrap();
-                assert!((got - expect).abs() < 1e-9, "d={d} n={n}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "d={d} n={n}: {got} vs {expect}"
+                );
             }
         }
     }
@@ -415,7 +495,10 @@ mod tests {
                 g.validate().unwrap();
                 let expect = (n + d - 1) as f64 * 3.0;
                 let got = g.makespan(unit_cost).unwrap();
-                assert!((got - expect).abs() < 1e-9, "d={d} n={n}: {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "d={d} n={n}: {got} vs {expect}"
+                );
             }
         }
     }

@@ -26,13 +26,20 @@ impl fmt::Display for ScheduleError {
                 write!(f, "task {:?} depends on nonexistent {:?}", task, dep)
             }
             ScheduleError::OrderMismatch { device } => {
-                write!(f, "device {} order does not list its tasks exactly once", device)
+                write!(
+                    f,
+                    "device {} order does not list its tasks exactly once",
+                    device
+                )
             }
             ScheduleError::Deadlock { scheduled, total } => {
                 write!(f, "deadlock: only {scheduled}/{total} tasks schedulable")
             }
             ScheduleError::IncompleteCoverage { stage, micro_batch } => {
-                write!(f, "stage {stage} missing work for micro-batch {micro_batch}")
+                write!(
+                    f,
+                    "stage {stage} missing work for micro-batch {micro_batch}"
+                )
             }
         }
     }
@@ -53,7 +60,12 @@ pub struct TaskGraph {
 
 impl TaskGraph {
     /// Creates an empty graph for `n_devices` devices.
-    pub fn new(scheme_name: impl Into<String>, n_devices: usize, n_stages: usize, n_micro: usize) -> Self {
+    pub fn new(
+        scheme_name: impl Into<String>,
+        n_devices: usize,
+        n_stages: usize,
+        n_micro: usize,
+    ) -> Self {
         TaskGraph {
             tasks: Vec::new(),
             device_order: vec![Vec::new(); n_devices],
@@ -78,9 +90,20 @@ impl TaskGraph {
         pipeline: StageAssignment,
         deps: Vec<TaskId>,
     ) -> TaskId {
-        assert!(device < self.device_order.len(), "push: device {device} out of range");
+        assert!(
+            device < self.device_order.len(),
+            "push: device {device} out of range"
+        );
         let id = TaskId(self.tasks.len());
-        self.tasks.push(Task { id, device, stage, micro_batch, kind, pipeline, deps });
+        self.tasks.push(Task {
+            id,
+            device,
+            stage,
+            micro_batch,
+            kind,
+            pipeline,
+            deps,
+        });
         self.device_order[device].push(id);
         id
     }
@@ -138,7 +161,10 @@ impl TaskGraph {
     /// Panics if any task id is out of range.
     pub fn set_deps(&mut self, deps: Vec<(TaskId, Vec<TaskId>)>) {
         for (id, d) in deps {
-            assert!(id.0 < self.tasks.len(), "set_deps: task {id:?} out of range");
+            assert!(
+                id.0 < self.tasks.len(),
+                "set_deps: task {id:?} out of range"
+            );
             self.tasks[id.0].deps = d;
         }
     }
@@ -174,8 +200,12 @@ impl TaskGraph {
             if listed.len() != order.len() {
                 return Err(ScheduleError::OrderMismatch { device: dev });
             }
-            let owned: HashSet<TaskId> =
-                self.tasks.iter().filter(|t| t.device == dev).map(|t| t.id).collect();
+            let owned: HashSet<TaskId> = self
+                .tasks
+                .iter()
+                .filter(|t| t.device == dev)
+                .map(|t| t.id)
+                .collect();
             if listed != owned {
                 return Err(ScheduleError::OrderMismatch { device: dev });
             }
@@ -186,13 +216,13 @@ impl TaskGraph {
         let mut scheduled = 0;
         loop {
             let mut progressed = false;
-            for dev in 0..self.n_devices() {
-                while cursor[dev] < self.device_order[dev].len() {
-                    let id = self.device_order[dev][cursor[dev]];
+            for (dev, cur) in cursor.iter_mut().enumerate() {
+                while *cur < self.device_order[dev].len() {
+                    let id = self.device_order[dev][*cur];
                     let ready = self.tasks[id.0].deps.iter().all(|d| done[d.0]);
                     if ready {
                         done[id.0] = true;
-                        cursor[dev] += 1;
+                        *cur += 1;
                         scheduled += 1;
                         progressed = true;
                     } else {
@@ -204,7 +234,10 @@ impl TaskGraph {
                 break;
             }
             if !progressed {
-                return Err(ScheduleError::Deadlock { scheduled, total: n });
+                return Err(ScheduleError::Deadlock {
+                    scheduled,
+                    total: n,
+                });
             }
         }
         // Coverage: each (stage, micro-batch) has one forward and one backward.
@@ -213,7 +246,10 @@ impl TaskGraph {
                 let fwd = self.find(WorkKind::Forward, stage, mb).is_some();
                 let bwd = self.find(WorkKind::Backward, stage, mb).is_some();
                 if !fwd || !bwd {
-                    return Err(ScheduleError::IncompleteCoverage { stage, micro_batch: mb });
+                    return Err(ScheduleError::IncompleteCoverage {
+                        stage,
+                        micro_batch: mb,
+                    });
                 }
             }
         }
@@ -269,7 +305,10 @@ impl TaskGraph {
                 return Ok(times);
             }
             if !progressed {
-                return Err(ScheduleError::Deadlock { scheduled, total: n });
+                return Err(ScheduleError::Deadlock {
+                    scheduled,
+                    total: n,
+                });
             }
         }
     }
@@ -294,10 +333,38 @@ mod tests {
 
     fn two_device_chain() -> TaskGraph {
         let mut g = TaskGraph::new("test", 2, 2, 1);
-        let f0 = g.push(0, 0, Some(0), WorkKind::Forward, StageAssignment::Single, vec![]);
-        let f1 = g.push(1, 1, Some(0), WorkKind::Forward, StageAssignment::Single, vec![f0]);
-        let b1 = g.push(1, 1, Some(0), WorkKind::Backward, StageAssignment::Single, vec![f1]);
-        let _b0 = g.push(0, 0, Some(0), WorkKind::Backward, StageAssignment::Single, vec![b1, f0]);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let f1 = g.push(
+            1,
+            1,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        let b1 = g.push(
+            1,
+            1,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f1],
+        );
+        let _b0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![b1, f0],
+        );
         g
     }
 
@@ -309,16 +376,26 @@ mod tests {
     #[test]
     fn nominal_times_respect_deps() {
         let g = two_device_chain();
-        let times = g.nominal_times(|t| match t.kind {
-            WorkKind::Forward => 1.0,
-            _ => 2.0,
-        }).unwrap();
+        let times = g
+            .nominal_times(|t| match t.kind {
+                WorkKind::Forward => 1.0,
+                _ => 2.0,
+            })
+            .unwrap();
         // F0: 0-1, F1: 1-2, B1: 2-4, B0: 4-6.
         assert_eq!(times[0], (0.0, 1.0));
         assert_eq!(times[1], (1.0, 2.0));
         assert_eq!(times[2], (2.0, 4.0));
         assert_eq!(times[3], (4.0, 6.0));
-        assert_eq!(g.makespan(|t| if t.kind == WorkKind::Forward { 1.0 } else { 2.0 }).unwrap(), 6.0);
+        assert_eq!(
+            g.makespan(|t| if t.kind == WorkKind::Forward {
+                1.0
+            } else {
+                2.0
+            })
+            .unwrap(),
+            6.0
+        );
     }
 
     #[test]
@@ -326,8 +403,22 @@ mod tests {
         // Two tasks on one device, first depends on second → stalls.
         let mut g = TaskGraph::new("bad", 1, 1, 1);
         let placeholder = TaskId(1);
-        g.push(0, 0, Some(0), WorkKind::Forward, StageAssignment::Single, vec![placeholder]);
-        g.push(0, 0, Some(0), WorkKind::Backward, StageAssignment::Single, vec![]);
+        g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![placeholder],
+        );
+        g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![],
+        );
         match g.validate() {
             Err(ScheduleError::Deadlock { .. }) => {}
             other => panic!("expected deadlock, got {other:?}"),
@@ -337,7 +428,14 @@ mod tests {
     #[test]
     fn dangling_dep_is_detected() {
         let mut g = TaskGraph::new("bad", 1, 1, 1);
-        g.push(0, 0, Some(0), WorkKind::Forward, StageAssignment::Single, vec![TaskId(99)]);
+        g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![TaskId(99)],
+        );
         match g.validate() {
             Err(ScheduleError::DanglingDependency { .. }) => {}
             other => panic!("expected dangling dep, got {other:?}"),
@@ -347,7 +445,14 @@ mod tests {
     #[test]
     fn missing_backward_is_detected() {
         let mut g = TaskGraph::new("bad", 1, 1, 1);
-        g.push(0, 0, Some(0), WorkKind::Forward, StageAssignment::Single, vec![]);
+        g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
         match g.validate() {
             Err(ScheduleError::IncompleteCoverage { .. }) => {}
             other => panic!("expected coverage error, got {other:?}"),

@@ -36,14 +36,30 @@ pub fn build_interleaved_1f1b(n_devices: usize, n_micro: usize, v: usize) -> Tas
         let steady = n_micro - warmup;
         let mut ops = Vec::with_capacity(2 * n_micro);
         for m in 0..warmup {
-            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: m });
+            ops.push(StreamOp {
+                kind: WorkKind::Forward,
+                stage,
+                micro_batch: m,
+            });
         }
         for i in 0..steady {
-            ops.push(StreamOp { kind: WorkKind::Forward, stage, micro_batch: warmup + i });
-            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: i });
+            ops.push(StreamOp {
+                kind: WorkKind::Forward,
+                stage,
+                micro_batch: warmup + i,
+            });
+            ops.push(StreamOp {
+                kind: WorkKind::Backward,
+                stage,
+                micro_batch: i,
+            });
         }
         for m in steady..n_micro {
-            ops.push(StreamOp { kind: WorkKind::Backward, stage, micro_batch: m });
+            ops.push(StreamOp {
+                kind: WorkKind::Backward,
+                stage,
+                micro_batch: m,
+            });
         }
         ops
     };
@@ -58,11 +74,21 @@ pub fn build_interleaved_1f1b(n_devices: usize, n_micro: usize, v: usize) -> Tas
         (k * total + op.stage) * n_micro + op.micro_batch
     };
     let mut end_time = vec![f64::NAN; 2 * total * n_micro];
-    let dur = |op: &StreamOp| if op.kind == WorkKind::Forward { 1.0 } else { 2.0 };
+    let dur = |op: &StreamOp| {
+        if op.kind == WorkKind::Forward {
+            1.0
+        } else {
+            2.0
+        }
+    };
     let dep_end = |op: &StreamOp, end_time: &[f64]| -> Option<f64> {
         let mut latest = 0.0f64;
         let mut dep = |k: WorkKind, s: usize| -> bool {
-            let e = end_time[key(&StreamOp { kind: k, stage: s, micro_batch: op.micro_batch })];
+            let e = end_time[key(&StreamOp {
+                kind: k,
+                stage: s,
+                micro_batch: op.micro_batch,
+            })];
             if e.is_nan() {
                 return false;
             }
@@ -148,7 +174,14 @@ pub fn build_interleaved_1f1b(n_devices: usize, n_micro: usize, v: usize) -> Tas
     let mut bwd = vec![vec![None; n_micro]; total];
     for (dev, ops) in realized.iter().enumerate() {
         for op in ops {
-            let id = g.push(dev, op.stage, Some(op.micro_batch), op.kind, StageAssignment::Single, vec![]);
+            let id = g.push(
+                dev,
+                op.stage,
+                Some(op.micro_batch),
+                op.kind,
+                StageAssignment::Single,
+                vec![],
+            );
             match op.kind {
                 WorkKind::Forward => fwd[op.stage][op.micro_batch] = Some(id),
                 WorkKind::Backward => bwd[op.stage][op.micro_batch] = Some(id),
@@ -196,7 +229,8 @@ mod tests {
             for v in [1usize, 2, 4] {
                 for n in [d, 2 * d] {
                     let g = build_interleaved_1f1b(d, n, v);
-                    g.validate().unwrap_or_else(|e| panic!("d={d} v={v} n={n}: {e}"));
+                    g.validate()
+                        .unwrap_or_else(|e| panic!("d={d} v={v} n={n}: {e}"));
                     assert_eq!(g.tasks().len(), 2 * v * d * n);
                     assert_eq!(g.n_stages(), v * d);
                 }

@@ -54,14 +54,21 @@ pub fn with_recompute(graph: &TaskGraph) -> TaskGraph {
     let mut deps_to_set = Vec::new();
     for t in graph.tasks() {
         let new_id = new_id_of[t.id.0].expect("copied");
-        let mut deps: Vec<TaskId> =
-            t.deps.iter().map(|d| new_id_of[d.0].expect("dep copied")).collect();
+        let mut deps: Vec<TaskId> = t
+            .deps
+            .iter()
+            .map(|d| new_id_of[d.0].expect("dep copied"))
+            .collect();
         if t.kind == WorkKind::Backward {
             let r = recompute_of[t.id.0].expect("recompute inserted");
             // Recompute inherits the forward dependency (the stored stage
             // input); the backward then waits on the recompute too.
             let fwd = graph
-                .find(WorkKind::Forward, t.stage, t.micro_batch.expect("backward has mb"))
+                .find(
+                    WorkKind::Forward,
+                    t.stage,
+                    t.micro_batch.expect("backward has mb"),
+                )
                 .expect("with_recompute: backward without forward");
             deps_to_set.push((r, vec![new_id_of[fwd.0].expect("fwd copied")]));
             deps.push(r);
@@ -89,11 +96,20 @@ mod tests {
     fn recompute_graph_validates() {
         for scheme in PipelineScheme::all() {
             let g = with_recompute(&scheme.build(4, 4));
-            g.validate().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            g.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             assert!(g.scheme_name().ends_with("+R"));
             // One recompute per backward.
-            let n_b = g.tasks().iter().filter(|t| t.kind == WorkKind::Backward).count();
-            let n_r = g.tasks().iter().filter(|t| t.kind == WorkKind::Recompute).count();
+            let n_b = g
+                .tasks()
+                .iter()
+                .filter(|t| t.kind == WorkKind::Backward)
+                .count();
+            let n_r = g
+                .tasks()
+                .iter()
+                .filter(|t| t.kind == WorkKind::Recompute)
+                .count();
             assert_eq!(n_b, n_r);
         }
     }

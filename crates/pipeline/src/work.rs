@@ -51,7 +51,10 @@ pub enum WorkKind {
 impl WorkKind {
     /// Whether this is standard pipeline work (present without K-FAC).
     pub fn is_standard(&self) -> bool {
-        matches!(self, WorkKind::Forward | WorkKind::Backward | WorkKind::Recompute)
+        matches!(
+            self,
+            WorkKind::Forward | WorkKind::Backward | WorkKind::Recompute
+        )
     }
 
     /// Whether this is K-FAC extra work.

@@ -12,7 +12,10 @@
 ///
 /// Panics if `bandwidth <= 0`.
 pub fn ring_allreduce_time(bytes: f64, n: usize, bandwidth: f64, latency: f64) -> f64 {
-    assert!(bandwidth > 0.0, "ring_allreduce_time: bandwidth must be positive");
+    assert!(
+        bandwidth > 0.0,
+        "ring_allreduce_time: bandwidth must be positive"
+    );
     if n <= 1 {
         return 0.0;
     }

@@ -163,7 +163,13 @@ mod tests {
 
     #[test]
     fn closures_are_cost_models() {
-        let c = |t: &Task| if t.kind == WorkKind::Forward { 3.0 } else { 0.0 };
+        let c = |t: &Task| {
+            if t.kind == WorkKind::Forward {
+                3.0
+            } else {
+                0.0
+            }
+        };
         assert_eq!(CostModel::duration(&c, &task(WorkKind::Forward)), 3.0);
     }
 }

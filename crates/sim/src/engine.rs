@@ -80,7 +80,11 @@ mod tests {
         // (measured on P100s). The pure schedule model gives exactly 75%
         // with T_b = 2·T_f — the shape the reproduction targets.
         let tl = simulate(&build_chimera(4, 4), &COST).unwrap();
-        assert!((tl.utilization() - 0.75).abs() < 1e-9, "{}", tl.utilization());
+        assert!(
+            (tl.utilization() - 0.75).abs() < 1e-9,
+            "{}",
+            tl.utilization()
+        );
     }
 
     #[test]
@@ -92,7 +96,11 @@ mod tests {
             for dev in 0..g.n_devices() {
                 let busy = tl.device_busy(dev);
                 let bub: f64 = tl.bubbles(dev, span).iter().map(|(s, e)| e - s).sum();
-                assert!((busy + bub - span).abs() < 1e-9, "{} dev {dev}", scheme.name());
+                assert!(
+                    (busy + bub - span).abs() < 1e-9,
+                    "{} dev {dev}",
+                    scheme.name()
+                );
             }
             assert!(tl.is_overlap_free(1e-9));
         }

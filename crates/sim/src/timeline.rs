@@ -47,7 +47,10 @@ pub struct Timeline {
 impl Timeline {
     /// Creates an empty timeline over `n_devices` devices.
     pub fn new(n_devices: usize) -> Self {
-        Timeline { intervals: Vec::new(), n_devices }
+        Timeline {
+            intervals: Vec::new(),
+            n_devices,
+        }
     }
 
     /// Adds an interval.
@@ -56,8 +59,14 @@ impl Timeline {
     ///
     /// Panics if the device is out of range or `end < start`.
     pub fn push(&mut self, interval: Interval) {
-        assert!(interval.device < self.n_devices, "Timeline::push: device out of range");
-        assert!(interval.end >= interval.start - 1e-12, "Timeline::push: negative interval");
+        assert!(
+            interval.device < self.n_devices,
+            "Timeline::push: device out of range"
+        );
+        assert!(
+            interval.end >= interval.start - 1e-12,
+            "Timeline::push: negative interval"
+        );
         self.intervals.push(interval);
     }
 
@@ -78,12 +87,16 @@ impl Timeline {
 
     /// Earliest interval start (0 for an empty timeline).
     pub fn first_start(&self) -> f64 {
-        self.intervals
+        let earliest = self
+            .intervals
             .iter()
             .map(|i| i.start)
-            .fold(f64::INFINITY, f64::min)
-            .min(0.0)
-            .max(0.0)
+            .fold(f64::INFINITY, f64::min);
+        if earliest.is_finite() {
+            earliest
+        } else {
+            0.0
+        }
     }
 
     /// Total busy time of one device.
@@ -151,7 +164,12 @@ impl Timeline {
     /// Total bubble time across all devices within `[0, horizon]`.
     pub fn total_bubble(&self, horizon: f64) -> f64 {
         (0..self.n_devices)
-            .map(|d| self.bubbles(d, horizon).iter().map(|(s, e)| e - s).sum::<f64>())
+            .map(|d| {
+                self.bubbles(d, horizon)
+                    .iter()
+                    .map(|(s, e)| e - s)
+                    .sum::<f64>()
+            })
             .sum()
     }
 
@@ -170,7 +188,10 @@ impl Timeline {
     ///
     /// Panics if device counts differ.
     pub fn merge(&mut self, other: &Timeline) {
-        assert_eq!(self.n_devices, other.n_devices, "Timeline::merge: device counts");
+        assert_eq!(
+            self.n_devices, other.n_devices,
+            "Timeline::merge: device counts"
+        );
         self.intervals.extend(other.intervals.iter().cloned());
     }
 
@@ -200,7 +221,9 @@ impl Timeline {
         let mut out = String::from("device,start,end,kind,stage,micro_batch\n");
         let mut sorted: Vec<&Interval> = self.intervals.iter().collect();
         sorted.sort_by(|a, b| {
-            (a.device, a.start).partial_cmp(&(b.device, b.start)).expect("finite times")
+            (a.device, a.start)
+                .partial_cmp(&(b.device, b.start))
+                .expect("finite times")
         });
         for i in sorted {
             let mb = i.micro_batch.map_or(String::new(), |m| m.to_string());
@@ -251,7 +274,14 @@ mod tests {
     use super::*;
 
     fn iv(device: usize, start: f64, end: f64, kind: WorkKind) -> Interval {
-        Interval { device, start, end, kind, stage: 0, micro_batch: None }
+        Interval {
+            device,
+            start,
+            end,
+            kind,
+            stage: 0,
+            micro_batch: None,
+        }
     }
 
     fn sample() -> Timeline {

@@ -63,7 +63,10 @@ impl SymmetricEigen {
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, TensorError> {
     assert!(a.is_square(), "symmetric_eigen: matrix must be square");
     let tol_sym = 1e-8 * a.max_abs().max(1.0);
-    assert!(a.is_symmetric(tol_sym), "symmetric_eigen: matrix must be symmetric");
+    assert!(
+        a.is_symmetric(tol_sym),
+        "symmetric_eigen: matrix must be symmetric"
+    );
     if !a.all_finite() {
         return Err(TensorError::NonFinite("symmetric_eigen"));
     }
@@ -134,7 +137,10 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, TensorError> {
             eigenvectors[(r, new_c)] = v[(r, old_c)];
         }
     }
-    Ok(SymmetricEigen { eigenvalues, eigenvectors })
+    Ok(SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    })
 }
 
 /// Computes `a^power` for a symmetric positive semi-definite matrix via its

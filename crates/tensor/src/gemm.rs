@@ -12,7 +12,18 @@
 //! The kernels use i-k-j loop order with a blocked inner loop, which is
 //! within a small factor of BLAS for the model sizes trained here and makes
 //! the whole stack dependency-free.
+//!
+//! # Threading
+//!
+//! Each kernel partitions its **output rows** into disjoint contiguous
+//! chunks and runs one chunk per lane of the shared worker pool
+//! ([`crate::par`]). Every output element is produced by exactly one lane
+//! running the identical per-element accumulation loop the serial kernel
+//! uses (summation over `p` in ascending order), so results are bitwise
+//! identical to serial execution at any thread count. Inputs below the
+//! [`crate::par::par_threshold`] work estimate stay serial.
 
+use crate::par;
 use crate::Matrix;
 
 /// Loop-blocking tile edge, chosen to keep three tiles in L1.
@@ -46,14 +57,12 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
-        gemm_nn(
-            self.as_slice(),
-            rhs.as_slice(),
-            out.as_mut_slice(),
-            m,
-            k,
-            n,
-        );
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
+            let rows = chunk.len() / n.max(1);
+            gemm_nn(&a[start * k..(start + rows) * k], b, chunk, rows, k, n);
+        });
         out
     }
 
@@ -76,23 +85,23 @@ impl Matrix {
         let n = rhs.cols();
         let mut out = Matrix::zeros(m, n);
         // (AᵀB)[i][j] = Σ_p A[p][i]·B[p][j]; p is the outer loop so both
-        // operands stream row-major.
+        // operands stream row-major. Output rows i are chunked across
+        // lanes; every element still accumulates over p ascending.
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let o = out.as_mut_slice();
-        for p in 0..k {
-            let arow = &a[p * m..(p + 1) * m];
-            let brow = &b[p * n..(p + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut o[i * n..(i + 1) * n];
-                for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *ov += av * bv;
+        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
+            let rows = chunk.len() / n.max(1);
+            for p in 0..k {
+                let arow = &a[p * m + start..p * m + start + rows];
+                let brow = &b[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    let orow = &mut chunk[i * n..(i + 1) * n];
+                    for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *ov += av * bv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -116,19 +125,21 @@ impl Matrix {
         let mut out = Matrix::zeros(m, n);
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let o = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut o[i * n..(i + 1) * n];
-            for j in 0..n {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (av, bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
+        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
+            let rows = chunk.len() / n.max(1);
+            for i in 0..rows {
+                let arow = &a[(start + i) * k..(start + i + 1) * k];
+                let orow = &mut chunk[i * n..(i + 1) * n];
+                for j in 0..n {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (av, bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    orow[j] = acc;
                 }
-                orow[j] = acc;
             }
-        }
+        });
         out
     }
 
@@ -136,26 +147,35 @@ impl Matrix {
     ///
     /// This is K-FAC's *curvature* kernel: with `self = U` holding one
     /// per-example vector per row, `gram` produces `Σ_i u_i u_iᵀ`. Only the
-    /// upper triangle is computed and mirrored.
+    /// upper triangle is computed and mirrored. Rows are chunked across
+    /// lanes with weights proportional to their upper-triangle length, so
+    /// the triangular workload stays balanced.
     pub fn gram(&self) -> Matrix {
         let (k, m) = self.shape();
         let mut out = Matrix::zeros(m, m);
         let a = self.as_slice();
         {
             let o = out.as_mut_slice();
-            for p in 0..k {
-                let row = &a[p * m..(p + 1) * m];
-                for i in 0..m {
-                    let av = row[i];
-                    if av == 0.0 {
-                        continue;
+            par::par_chunks_mut_weighted(
+                o,
+                m,
+                m,
+                k * m * (m + 1) / 2,
+                |i| m - i,
+                |start, chunk| {
+                    let rows = chunk.len() / m.max(1);
+                    for p in 0..k {
+                        let row = &a[p * m..(p + 1) * m];
+                        for i in 0..rows {
+                            let av = row[start + i];
+                            let orow = &mut chunk[i * m..(i + 1) * m];
+                            for j in (start + i)..m {
+                                orow[j] += av * row[j];
+                            }
+                        }
                     }
-                    let orow = &mut o[i * m..(i + 1) * m];
-                    for j in i..m {
-                        orow[j] += av * row[j];
-                    }
-                }
-            }
+                },
+            );
             for i in 0..m {
                 for j in (i + 1)..m {
                     o[j * m + i] = o[i * m + j];
@@ -193,9 +213,6 @@ fn gemm_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
                 let crow = &mut c[i * n..(i + 1) * n];
                 for p in kb..kmax {
                     let av = a[i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
                     let brow = &b[p * n..(p + 1) * n];
                     for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                         *cv += av * bv;

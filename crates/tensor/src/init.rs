@@ -61,7 +61,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let m = normal(200, 200, 2.0, &mut rng);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
             / (m.len() - 1) as f64;
         assert!(mean.abs() < 0.05, "mean={mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std={}", var.sqrt());

@@ -33,6 +33,7 @@ mod error;
 mod gemm;
 pub mod init;
 mod matrix;
+pub mod par;
 mod reduce;
 mod softmax;
 

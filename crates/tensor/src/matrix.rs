@@ -29,12 +29,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -76,7 +84,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
@@ -150,7 +162,12 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {} out of bounds ({})", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row index {} out of bounds ({})",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -161,7 +178,12 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {} out of bounds ({})", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row index {} out of bounds ({})",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -171,8 +193,15 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col index {} out of bounds ({})", c, self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "col index {} out of bounds ({})",
+            c,
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Returns the transposed matrix.
@@ -192,8 +221,16 @@ impl Matrix {
     ///
     /// Panics if the total element count changes.
     pub fn reshape(self, rows: usize, cols: usize) -> Matrix {
-        assert_eq!(self.data.len(), rows * cols, "reshape: element count mismatch");
-        Matrix { rows, cols, data: self.data }
+        assert_eq!(
+            self.data.len(),
+            rows * cols,
+            "reshape: element count mismatch"
+        );
+        Matrix {
+            rows,
+            cols,
+            data: self.data,
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -403,8 +440,8 @@ impl Matrix {
         assert_eq!(row.len(), self.cols, "add_row_broadcast: length mismatch");
         for r in 0..self.rows {
             let base = r * self.cols;
-            for c in 0..self.cols {
-                self.data[base + c] += row[c];
+            for (dst, &rv) in self.data[base..base + self.cols].iter_mut().zip(row.iter()) {
+                *dst += rv;
             }
         }
     }
@@ -446,7 +483,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -454,7 +494,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

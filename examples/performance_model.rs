@@ -37,7 +37,10 @@ fn main() {
     let d: usize = args.get(3).map_or(8, |s| s.parse().expect("D"));
     let b_micro: usize = args.get(4).map_or(16, |s| s.parse().expect("B_micro"));
 
-    println!("{} on {} — D={d} stages (1 block/stage), N_micro={d}, B_micro={b_micro}\n", arch.name, hw.name);
+    println!(
+        "{} on {} — D={d} stages (1 block/stage), N_micro={d}, B_micro={b_micro}\n",
+        arch.name, hw.name
+    );
     println!(
         "{:<22} | {:>10} {:>10} {:>9} {:>7} {:>9}",
         "scheme", "step (ms)", "bubble(ms)", "thru", "ratio", "mem (GB)"

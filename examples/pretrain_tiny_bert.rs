@@ -31,7 +31,11 @@ fn main() {
     println!("racing NVLAMB vs K-FAC for {STEPS} steps on the synthetic masked-LM task…\n");
 
     let (mut trainer, mut model) = setup(40, 3);
-    let lamb = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, STEPS);
+    let lamb = trainer.run(
+        &mut model,
+        &OptimizerChoice::Lamb { weight_decay: 0.01 },
+        STEPS,
+    );
 
     let (mut trainer, mut model) = setup(12, 3);
     let kfac = trainer.run(
@@ -62,6 +66,8 @@ fn main() {
             "\nK-FAC reached NVLAMB's final loss ({target:.4}) at step {s} ({:.0}% of {STEPS})",
             100.0 * s as f64 / STEPS as f64
         ),
-        None => println!("\nK-FAC did not reach NVLAMB's final loss ({target:.4}) in {STEPS} steps"),
+        None => {
+            println!("\nK-FAC did not reach NVLAMB's final loss ({target:.4}) in {STEPS} steps")
+        }
     }
 }

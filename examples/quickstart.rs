@@ -27,7 +27,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let mut model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
     let mut opt = Kfac::new(
-        KfacConfig { curvature_interval: 2, inversion_interval: 2, ..Default::default() },
+        KfacConfig {
+            curvature_interval: 2,
+            inversion_interval: 2,
+            ..Default::default()
+        },
         Lamb::new(0.01),
     );
     let mut data_rng = StdRng::seed_from_u64(1);
@@ -36,7 +40,10 @@ fn main() {
         model.zero_grad();
         let out = model.train_step(&batch, &ForwardCtx::train_with_capture());
         opt.step(&mut model, 5e-3);
-        println!("  step {step}: loss {:.4} (mlm {:.4}, nsp {:.4})", out.total_loss, out.mlm_loss, out.nsp_loss);
+        println!(
+            "  step {step}: loss {:.4} (mlm {:.4}, nsp {:.4})",
+            out.total_loss, out.mlm_loss, out.nsp_loss
+        );
     }
 
     // --- 2. Scheduling layer: fill Chimera bubbles with the K-FAC work. ---

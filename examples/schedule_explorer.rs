@@ -28,7 +28,10 @@ fn explore(scheme: PipelineScheme, d: usize, n_micro: usize) {
 
     let graph = scheme.build(d, n_micro);
     let base = simulate(&graph, &costs).expect("schedule simulates");
-    println!("baseline (F/B only), utilization {:.1}%:", base.utilization() * 100.0);
+    println!(
+        "baseline (F/B only), utilization {:.1}%:",
+        base.utilization() * 100.0
+    );
     print!("{}", base.render_ascii(96));
 
     match assign(&PipeFisherConfig {

@@ -36,15 +36,19 @@ fn options() -> GraphAssignOptions {
 fn interleaved_1f1b_gets_filled() {
     for v in [2usize, 4] {
         let g = build_interleaved_1f1b(4, 4, v);
-        let s = assign_graph(&g, &kfac_costs(), &options())
-            .unwrap_or_else(|e| panic!("v={v}: {e}"));
+        let s =
+            assign_graph(&g, &kfac_costs(), &options()).unwrap_or_else(|e| panic!("v={v}: {e}"));
         let problems = s.check_invariants();
         assert!(problems.is_empty(), "v={v}: {problems:?}");
         assert!(s.steady_utilization > s.utilization_baseline, "v={v}");
         // Interleaving shrinks bubbles, so the refresh takes at least as
         // long as plain 1F1B's (the Chimera trade-off, generalized).
-        let plain = assign_graph(&PipelineScheme::OneFOneB.build(4, 4), &kfac_costs(), &options())
-            .unwrap();
+        let plain = assign_graph(
+            &PipelineScheme::OneFOneB.build(4, 4),
+            &kfac_costs(),
+            &options(),
+        )
+        .unwrap();
         assert!(
             s.steady_refresh_steps >= plain.steady_refresh_steps - 1e-9,
             "v={v}: {} vs plain {}",

@@ -23,10 +23,19 @@ fn setting(
     let hw = HardwareProfile::p100();
     let mut costs = stage_costs(arch, &hw, blocks, b_micro, false);
     let mem = stage_memory(arch, blocks, b_micro, false);
-    let replicas = w * if scheme == PipelineScheme::Chimera { 2 } else { 1 };
-    costs.t_sync_grad = ring_allreduce_time(mem.m_theta, replicas, hw.link_bandwidth, hw.link_latency);
-    costs.t_sync_curv =
-        ring_allreduce_time(2.0 * mem.m_curv, replicas, hw.link_bandwidth, hw.link_latency);
+    let replicas = w * if scheme == PipelineScheme::Chimera {
+        2
+    } else {
+        1
+    };
+    costs.t_sync_grad =
+        ring_allreduce_time(mem.m_theta, replicas, hw.link_bandwidth, hw.link_latency);
+    costs.t_sync_curv = ring_allreduce_time(
+        2.0 * mem.m_curv,
+        replicas,
+        hw.link_bandwidth,
+        hw.link_latency,
+    );
     PipeFisherConfig {
         scheme,
         d,
@@ -45,11 +54,30 @@ fn fig3_bert_base_gpipe_refresh_within_two_steps() {
     // Paper §3.1: "the curvature and inverse matrices are refreshed within a
     // maximum of 2 steps" for BERT-Base, D=4, 3 blocks/stage, B_micro=32.
     for scheme in [PipelineScheme::GPipe, PipelineScheme::OneFOneB] {
-        let s = assign(&setting(&TransformerConfig::bert_base(), scheme, 4, 4, 32, 3, 1)).unwrap();
+        let s = assign(&setting(
+            &TransformerConfig::bert_base(),
+            scheme,
+            4,
+            4,
+            32,
+            3,
+            1,
+        ))
+        .unwrap();
         // Steady state ≤ 2 steps; cold start may take one extra on 1F1B,
         // whose early bubbles are more fragmented.
-        assert!(s.steady_refresh_steps <= 2.0, "{}: steady {}", scheme.name(), s.steady_refresh_steps);
-        assert!(s.refresh_steps <= 3, "{}: refresh {}", scheme.name(), s.refresh_steps);
+        assert!(
+            s.steady_refresh_steps <= 2.0,
+            "{}: steady {}",
+            scheme.name(),
+            s.steady_refresh_steps
+        );
+        assert!(
+            s.refresh_steps <= 3,
+            "{}: refresh {}",
+            scheme.name(),
+            s.refresh_steps
+        );
         // Utilization lifted from the ~57% schedule baseline into the high band.
         assert!(s.utilization_baseline < 0.65, "{}", s.utilization_baseline);
         assert!(s.steady_utilization > 0.9, "{}", s.steady_utilization);
@@ -60,11 +88,27 @@ fn fig3_bert_base_gpipe_refresh_within_two_steps() {
 fn fig4_bert_large_chimera_shapes() {
     // Paper Fig. 4: utilization 59.8% -> 97.6%; refresh 2-4 steps;
     // per-step overhead ≈ 6.5%.
-    let s = assign(&setting(&TransformerConfig::bert_large(), PipelineScheme::Chimera, 8, 8, 32, 3, 1))
-        .unwrap();
-    assert!((0.55..0.75).contains(&s.utilization_baseline), "{}", s.utilization_baseline);
+    let s = assign(&setting(
+        &TransformerConfig::bert_large(),
+        PipelineScheme::Chimera,
+        8,
+        8,
+        32,
+        3,
+        1,
+    ))
+    .unwrap();
+    assert!(
+        (0.55..0.75).contains(&s.utilization_baseline),
+        "{}",
+        s.utilization_baseline
+    );
     assert!(s.steady_utilization > 0.93, "{}", s.steady_utilization);
-    assert!((1.5..4.5).contains(&s.steady_refresh_steps), "{}", s.steady_refresh_steps);
+    assert!(
+        (1.5..4.5).contains(&s.steady_refresh_steps),
+        "{}",
+        s.steady_refresh_steps
+    );
     let overhead = s.t_step / s.t_step_baseline - 1.0;
     assert!((0.02..0.12).contains(&overhead), "overhead {overhead}");
 }
@@ -73,8 +117,16 @@ fn fig4_bert_large_chimera_shapes() {
 fn table2_simulated_training_time_ratio() {
     // Paper Table 2: K-FAC(5000 steps) / NVLAMB(7038 steps) = 75.7% of the
     // wall-clock. Our band: 70-82%.
-    let s = assign(&setting(&TransformerConfig::bert_large(), PipelineScheme::Chimera, 8, 8, 32, 3, 1))
-        .unwrap();
+    let s = assign(&setting(
+        &TransformerConfig::bert_large(),
+        PipelineScheme::Chimera,
+        8,
+        8,
+        32,
+        3,
+        1,
+    ))
+    .unwrap();
     let ratio = (s.t_step * 5_000.0) / (s.t_step_baseline * 7_038.0);
     assert!((0.70..0.82).contains(&ratio), "time ratio {ratio}");
 }
@@ -83,15 +135,31 @@ fn table2_simulated_training_time_ratio() {
 fn fig6_256_gpu_time_ratio() {
     // Paper Fig. 6 (right): K-FAC reaches NVLAMB's final loss in 48.7% of
     // the wall-clock on 256 GPUs (2961 vs 7038 steps). Band: 40-55%.
-    let s = assign(&setting(&TransformerConfig::bert_base(), PipelineScheme::Chimera, 4, 4, 32, 3, 64))
-        .unwrap();
-    assert!((0.70..0.80).contains(&s.utilization_baseline), "{}", s.utilization_baseline);
+    let s = assign(&setting(
+        &TransformerConfig::bert_base(),
+        PipelineScheme::Chimera,
+        4,
+        4,
+        32,
+        3,
+        64,
+    ))
+    .unwrap();
+    assert!(
+        (0.70..0.80).contains(&s.utilization_baseline),
+        "{}",
+        s.utilization_baseline
+    );
     assert!(s.steady_utilization > 0.9, "{}", s.steady_utilization);
     let ratio = (s.t_step * 2_961.0) / (s.t_step_baseline * 7_038.0);
     assert!((0.40..0.55).contains(&ratio), "time ratio {ratio}");
     // Refresh every 5-10 steps per the paper's Fig. 6 caption (ours is a
     // bit fresher; accept 2-10).
-    assert!((2.0..10.0).contains(&s.steady_refresh_steps), "{}", s.steady_refresh_steps);
+    assert!(
+        (2.0..10.0).contains(&s.steady_refresh_steps),
+        "{}",
+        s.steady_refresh_steps
+    );
 }
 
 #[test]
@@ -161,8 +229,8 @@ fn every_scheme_gets_filled_for_every_table3_arch() {
             // work queue — needed for the small-bubble (B_micro = 8) cases.
             let mut cfg = setting(&arch, scheme, 4, 4, 8, 2, 1);
             cfg.granularity = 2 * 6;
-            let s = assign(&cfg)
-                .unwrap_or_else(|e| panic!("{} / {}: {e}", arch.name, scheme.name()));
+            let s =
+                assign(&cfg).unwrap_or_else(|e| panic!("{} / {}: {e}", arch.name, scheme.name()));
             assert!(
                 s.steady_utilization > s.utilization_baseline,
                 "{} / {}",
