@@ -10,12 +10,17 @@
 //! Paper shape targets: baseline utilization ≈ 42 % (measured with real
 //! kernel gaps; the pure schedule model gives 57 %), PipeFisher ≈ 89 %, and
 //! curvature+inverses refreshed within ~2 steps.
+//!
+//! Besides the console report, each W=1 filled timeline is exported as a
+//! Chrome/Perfetto trace to `results/fig3_<scheme>.trace.json` — the
+//! reproduction's stand-in for the paper's Nsight Systems screenshots.
 
 use pipefisher_bench::{fmt_ms, pct, Setting};
 use pipefisher_core::assign;
 use pipefisher_pipeline::PipelineScheme;
 
 fn main() {
+    std::fs::create_dir_all("results").expect("create results/");
     println!("=== Figure 3: BERT-Base, D=4 (3 blocks/stage), N_micro=4, B_micro=32, P100 ===\n");
     for scheme in [PipelineScheme::GPipe, PipelineScheme::OneFOneB] {
         println!("--- {} ---", scheme.name());
@@ -44,6 +49,14 @@ fn main() {
             if w == 1 {
                 println!("\n  timeline over the refresh window (W=1):");
                 print!("{}", schedule.augmented_timeline.render_ascii(110));
+                // Timelines here are in seconds; trace timestamps are µs.
+                let trace = serde_json::to_string_pretty(
+                    &schedule.augmented_timeline.chrome_trace_json(1e6),
+                )
+                .expect("json");
+                let path = format!("results/fig3_{}.trace.json", scheme.name());
+                std::fs::write(&path, trace).expect("write trace");
+                println!("  wrote {path} (open in ui.perfetto.dev)");
             }
         }
         println!();

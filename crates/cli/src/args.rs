@@ -1,7 +1,9 @@
 //! Tiny argument-parsing helpers shared by the subcommands.
 
 use pipefisher_perfmodel::{HardwareProfile, TransformerConfig};
-use pipefisher_pipeline::PipelineScheme;
+use pipefisher_pipeline::{
+    build_async_1f1b, build_interleaved_1f1b, with_recompute, PipelineScheme, TaskGraph,
+};
 
 /// Parses a pipeline scheme name.
 pub fn scheme(s: &str) -> Result<PipelineScheme, String> {
@@ -60,6 +62,44 @@ pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Builds the validated task graph a `<scheme> <D> <N_micro>` argument
+/// prefix describes, honoring `--recompute`, `--virtual V` (interleaved),
+/// and `--steps K` (async). Shared by `schedule` and `trace`.
+pub fn graph(argv: &[String]) -> Result<TaskGraph, String> {
+    let d = int(argv, 1, "D")?;
+    let n = int(argv, 2, "N_micro")?;
+    let mut graph = match argv.first().map(String::as_str) {
+        Some("interleaved") => {
+            let v = flag_value(argv, "--virtual")
+                .map(|s| s.parse().map_err(|_| format!("bad --virtual '{s}'")))
+                .transpose()?
+                .unwrap_or(2);
+            build_interleaved_1f1b(d, n, v)
+        }
+        Some("async") => {
+            let steps = flag_value(argv, "--steps")
+                .map(|s| s.parse().map_err(|_| format!("bad --steps '{s}'")))
+                .transpose()?
+                .unwrap_or(4);
+            build_async_1f1b(d, n, steps)
+        }
+        Some(name) => scheme(name)?.build(d, n),
+        None => {
+            return Err("missing <scheme> (gpipe | 1f1b | chimera | interleaved | async)".into())
+        }
+    };
+    if has_flag(argv, "--recompute") {
+        graph = with_recompute(&graph);
+    }
+    graph.validate().map_err(|e| e.to_string())?;
+    Ok(graph)
+}
+
+/// Writes `text` to `path`, mapping IO errors to CLI error strings.
+pub fn write_file(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("writing '{path}': {e}"))
 }
 
 #[cfg(test)]

@@ -47,6 +47,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
 
+    if let Some(path) = args::flag_value(args, "--trace-out") {
+        // Assignment timelines are in seconds; trace timestamps are µs.
+        let json =
+            serde_json::to_string_pretty(&schedule.augmented_timeline.chrome_trace_json(1e6))
+                .expect("json");
+        args::write_file(path, &json)?;
+        eprintln!("wrote Chrome trace of the filled timeline to {path}");
+    }
+
     if json_out {
         let out = json!({
             "scheme": scheme.name(),

@@ -1,7 +1,6 @@
 //! `pipefisher schedule` — render a pipeline schedule.
 
 use crate::args;
-use pipefisher_pipeline::{build_async_1f1b, build_interleaved_1f1b, with_recompute};
 use pipefisher_sim::{simulate, UniformCost};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -10,31 +9,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let recompute = args::has_flag(argv, "--recompute");
     let csv = args::has_flag(argv, "--csv");
 
-    let mut graph = match argv.first().map(String::as_str) {
-        Some("interleaved") => {
-            let v = args::flag_value(argv, "--virtual")
-                .map(|s| s.parse().map_err(|_| format!("bad --virtual '{s}'")))
-                .transpose()?
-                .unwrap_or(2);
-            build_interleaved_1f1b(d, n, v)
-        }
-        Some("async") => {
-            let steps = args::flag_value(argv, "--steps")
-                .map(|s| s.parse().map_err(|_| format!("bad --steps '{s}'")))
-                .transpose()?
-                .unwrap_or(4);
-            build_async_1f1b(d, n, steps)
-        }
-        Some(name) => args::scheme(name)?.build(d, n),
-        None => {
-            return Err("missing <scheme> (gpipe | 1f1b | chimera | interleaved | async)".into())
-        }
-    };
-    if recompute {
-        graph = with_recompute(&graph);
-    }
-    graph.validate().map_err(|e| e.to_string())?;
+    let graph = args::graph(argv)?;
     let tl = simulate(&graph, &UniformCost::new(1.0, 2.0)).map_err(|e| e.to_string())?;
+    if let Some(path) = args::flag_value(argv, "--trace-out") {
+        // Simulated units are abstract; render one unit as 1 ms.
+        let json = serde_json::to_string_pretty(&tl.chrome_trace_json(1000.0)).expect("json");
+        args::write_file(path, &json)?;
+        eprintln!("wrote Chrome trace to {path} (open in ui.perfetto.dev)");
+    }
     if csv {
         print!("{}", tl.to_csv());
         return Ok(());

@@ -1,0 +1,44 @@
+//! `pipefisher trace` — export a simulated pipeline step as a
+//! Chrome/Perfetto trace.
+//!
+//! The JSON written here opens directly in `ui.perfetto.dev` or
+//! `chrome://tracing`: one track per device, slices color-coded by work
+//! kind, idle time as explicit `bubble` slices — the reproduction's version
+//! of the paper's Nsight profile (Fig. 3).
+
+use crate::args;
+use pipefisher_sim::{simulate, UniformCost};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let graph = args::graph(argv)?;
+    let t_f: f64 = args::flag_value(argv, "--t-f")
+        .map(|s| s.parse().map_err(|_| format!("bad --t-f '{s}'")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let t_b: f64 = args::flag_value(argv, "--t-b")
+        .map(|s| s.parse().map_err(|_| format!("bad --t-b '{s}'")))
+        .transpose()?
+        .unwrap_or(2.0 * t_f);
+    let unit_us: f64 = args::flag_value(argv, "--unit-us")
+        .map(|s| s.parse().map_err(|_| format!("bad --unit-us '{s}'")))
+        .transpose()?
+        .unwrap_or(1000.0);
+    if unit_us <= 0.0 {
+        return Err("--unit-us must be positive".into());
+    }
+
+    let tl = simulate(&graph, &UniformCost::new(t_f, t_b)).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&tl.chrome_trace_json(unit_us)).expect("json");
+    match args::flag_value(argv, "--out") {
+        Some(path) => {
+            args::write_file(path, &json)?;
+            eprintln!(
+                "wrote {} intervals over {} devices to {path} (open in ui.perfetto.dev)",
+                tl.intervals().len(),
+                tl.n_devices()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}

@@ -28,6 +28,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
         .transpose()?
         .unwrap_or(42);
+    let trace_out = args::flag_value(args, "--trace-out");
+    let metrics_out = args::flag_value(args, "--metrics-out");
+    if trace_out.is_some() {
+        pipefisher_trace::set_enabled(true);
+    }
 
     let lang = SyntheticLanguage::new(68, 4, 4, 7);
     let sampler = BatchSampler::new(lang, 16);
@@ -46,6 +51,23 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
     let run = trainer.run(&mut model, &choice, steps);
+    if trace_out.is_some() {
+        pipefisher_trace::set_enabled(false);
+    }
+    if let Some(path) = trace_out {
+        let events = pipefisher_trace::drain();
+        let json = serde_json::to_string_pretty(&pipefisher_trace::chrome_trace_json(&events))
+            .expect("json");
+        args::write_file(path, &json)?;
+        eprintln!(
+            "wrote {} wall-clock trace events to {path} (open in ui.perfetto.dev)",
+            events.len()
+        );
+    }
+    if let Some(path) = metrics_out {
+        args::write_file(path, &pipefisher_lm::to_jsonl(&run.metrics))?;
+        eprintln!("wrote {} StepMetrics rows to {path}", run.metrics.len());
+    }
     let sm = run.smoothed(9);
     println!("{} — {} steps (warmup {})", run.label, steps, warmup.max(1));
     for i in (0..steps).step_by((steps / 20).max(1)) {

@@ -1,10 +1,11 @@
 //! `pipefisher` — command-line interface to the PipeFisher reproduction.
 //!
 //! ```text
-//! pipefisher schedule <scheme> <D> <N_micro> [--recompute] [--csv]
+//! pipefisher schedule <scheme> <D> <N_micro> [--recompute] [--csv] [--trace-out FILE]
+//! pipefisher trace    <scheme> <D> <N_micro> [--t-f T] [--t-b T] [--out FILE]
 //! pipefisher assign   <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
 //! pipefisher model    <arch> <hw> <D> <B_micro> [--json]
-//! pipefisher train    <lamb|kfac> <steps> [--seed N]
+//! pipefisher train    <lamb|kfac> <steps> [--seed N] [--trace-out FILE] [--metrics-out FILE]
 //! pipefisher sweep    <arch> [--json]
 //! ```
 
@@ -13,6 +14,7 @@ mod cmd_assign;
 mod cmd_model;
 mod cmd_schedule;
 mod cmd_sweep;
+mod cmd_trace;
 mod cmd_train;
 
 use std::process::ExitCode;
@@ -23,18 +25,29 @@ pipefisher — fill pipeline bubbles with second-order optimizer work
 USAGE:
     pipefisher schedule <gpipe|1f1b|chimera|interleaved|async> <D> <N_micro>
                         [--recompute] [--csv] [--virtual V] [--steps K]
-        Render a pipeline schedule as an ASCII timeline (or CSV).
+                        [--trace-out FILE]
+        Render a pipeline schedule as an ASCII timeline (or CSV); with
+        --trace-out also write a Chrome/Perfetto trace of the timeline.
 
-    pipefisher assign <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
+    pipefisher trace <gpipe|1f1b|chimera|interleaved|async> <D> <N_micro>
+                     [--t-f T] [--t-b T] [--unit-us U] [--out FILE]
+                     [--recompute] [--virtual V] [--steps K]
+        Simulate a pipeline step and export it as Chrome trace JSON
+        (openable in ui.perfetto.dev or chrome://tracing).
+
+    pipefisher assign <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W]
+                      [--json] [--trace-out FILE]
         Run PipeFisher's bubble assignment for a paper-style setting and
         report utilization, refresh interval, and the filled timeline.
 
     pipefisher model <arch> <hw> <D> <B_micro> [--json]
         Evaluate the closed-form §3.3 step model for all three schemes.
 
-    pipefisher train <lamb|kfac> <steps> [--seed N]
+    pipefisher train <lamb|kfac> <steps> [--seed N] [--trace-out FILE]
+                     [--metrics-out FILE]
         Pretrain a tiny BERT on the synthetic language and print the loss
-        curve.
+        curve; optionally record wall-clock trace spans and per-step
+        metrics (JSONL).
 
     pipefisher sweep <arch> [--json]
         (curvature+inversion)/bubble ratio across D, B_micro, and hardware.
@@ -46,6 +59,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("schedule") => cmd_schedule::run(&argv[1..]),
+        Some("trace") => cmd_trace::run(&argv[1..]),
         Some("assign") => cmd_assign::run(&argv[1..]),
         Some("model") => cmd_model::run(&argv[1..]),
         Some("train") => cmd_train::run(&argv[1..]),

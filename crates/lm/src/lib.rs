@@ -13,15 +13,20 @@
 //!   masking with the 80/10/10 rule, 50 % random NSP pairs),
 //! * [`Trainer`] / [`TrainRun`] — optimizer-agnostic pretraining loops with
 //!   loss histories, smoothing, and steps-to-target-loss extraction (the
-//!   quantities Figure 6 plots).
+//!   quantities Figure 6 plots),
+//! * [`StepMetrics`] / [`to_jsonl`] — per-step metrics rows (loss, gradient
+//!   norm, per-phase wall-clock, K-FAC refresh counters) with JSON Lines
+//!   export.
 
 mod causal;
 mod corpus;
 mod data;
+mod metrics;
 pub mod parallel;
 mod trainer;
 
 pub use causal::{train_causal_lm, CausalSampler};
 pub use corpus::SyntheticLanguage;
 pub use data::{special_tokens, BatchSampler};
+pub use metrics::{to_jsonl, StepMetrics};
 pub use trainer::{OptimizerChoice, TrainOptions, TrainRun, Trainer};

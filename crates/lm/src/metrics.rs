@@ -1,0 +1,162 @@
+//! Per-step training metrics — the reproduction's structured alternative to
+//! eyeballing the loss curve.
+//!
+//! Each optimizer step of a [`crate::Trainer`] run appends one
+//! [`StepMetrics`] row (loss, gradient norm, per-phase wall-clock
+//! milliseconds, K-FAC refresh counters) to the returned
+//! [`crate::TrainRun`]; [`to_jsonl`] serializes the rows as JSON Lines for
+//! external analysis (`pipefisher train --metrics-out metrics.jsonl`).
+
+use serde_json::{json, Value};
+
+/// One optimizer step's recorded metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepMetrics {
+    /// Step index (0-based, strictly increasing within a run).
+    pub step: usize,
+    /// Total pretraining loss (MLM + NSP; micro-batch mean when
+    /// accumulating).
+    pub loss: f64,
+    /// Global L2 norm of the gradient the optimizer consumed.
+    pub grad_norm: f64,
+    /// Learning rate applied this step.
+    pub lr: f64,
+    /// Wall-clock milliseconds spent sampling batches.
+    pub data_ms: f64,
+    /// Wall-clock milliseconds spent in forward + backward passes.
+    pub forward_backward_ms: f64,
+    /// Wall-clock milliseconds spent in the optimizer update.
+    pub optimizer_ms: f64,
+    /// Whether this step refreshed K-FAC curvature statistics.
+    pub curvature_refreshed: bool,
+    /// Cumulative K-FAC curvature refreshes up to and including this step.
+    pub curvature_refreshes: u64,
+    /// Cumulative K-FAC factor inversions up to and including this step.
+    pub inversions: u64,
+}
+
+impl StepMetrics {
+    /// This row as a JSON object (insertion-ordered keys).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "step": self.step,
+            "loss": self.loss,
+            "grad_norm": self.grad_norm,
+            "lr": self.lr,
+            "data_ms": self.data_ms,
+            "forward_backward_ms": self.forward_backward_ms,
+            "optimizer_ms": self.optimizer_ms,
+            "curvature_refreshed": self.curvature_refreshed,
+            "curvature_refreshes": self.curvature_refreshes,
+            "inversions": self.inversions,
+        })
+    }
+}
+
+/// Serializes rows as JSON Lines (one compact object per line, trailing
+/// newline; empty input produces an empty string).
+pub fn to_jsonl(rows: &[StepMetrics]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&serde_json::to_string(&row.to_json()).expect("json"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Accumulates [`StepMetrics`] rows over a run, tracking the cumulative
+/// K-FAC counters.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsRecorder {
+    rows: Vec<StepMetrics>,
+    curvature_refreshes: u64,
+    inversions: u64,
+}
+
+/// Per-phase wall-clock timings of one step, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PhaseTimings {
+    pub data_ms: f64,
+    pub forward_backward_ms: f64,
+    pub optimizer_ms: f64,
+}
+
+impl MetricsRecorder {
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        step: usize,
+        loss: f64,
+        grad_norm: f64,
+        lr: f64,
+        timings: PhaseTimings,
+        curvature_refreshed: bool,
+        inverted: bool,
+    ) {
+        self.curvature_refreshes += u64::from(curvature_refreshed);
+        self.inversions += u64::from(inverted);
+        self.rows.push(StepMetrics {
+            step,
+            loss,
+            grad_norm,
+            lr,
+            data_ms: timings.data_ms,
+            forward_backward_ms: timings.forward_backward_ms,
+            optimizer_ms: timings.optimizer_ms,
+            curvature_refreshed,
+            curvature_refreshes: self.curvature_refreshes,
+            inversions: self.inversions,
+        });
+    }
+
+    pub fn into_rows(self) -> Vec<StepMetrics> {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(step: usize) -> StepMetrics {
+        StepMetrics {
+            step,
+            loss: 2.5,
+            grad_norm: 1.0,
+            lr: 1e-3,
+            data_ms: 0.1,
+            forward_backward_ms: 3.0,
+            optimizer_ms: 0.5,
+            curvature_refreshed: step == 0,
+            curvature_refreshes: 1,
+            inversions: 1,
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_parsable_object_per_line() {
+        let rows = vec![row(0), row(1)];
+        let jsonl = to_jsonl(&rows);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("step").unwrap().as_i64(), Some(i as i64));
+            assert_eq!(v.get("loss").unwrap().as_f64(), Some(2.5));
+        }
+        assert!(to_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn recorder_accumulates_refresh_counters() {
+        let mut rec = MetricsRecorder::default();
+        let t = PhaseTimings::default();
+        rec.record(0, 3.0, 1.0, 1e-3, t, true, true);
+        rec.record(1, 2.9, 1.0, 1e-3, t, false, false);
+        rec.record(2, 2.8, 1.0, 1e-3, t, true, false);
+        let rows = rec.into_rows();
+        assert_eq!(rows[2].curvature_refreshes, 2);
+        assert_eq!(rows[2].inversions, 1);
+        assert!(!rows[1].curvature_refreshed);
+    }
+}

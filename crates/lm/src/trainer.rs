@@ -1,11 +1,14 @@
-//! Pretraining loops with loss tracking (the Figure 6 machinery).
+//! Pretraining loops with loss tracking (the Figure 6 machinery) and
+//! per-step metrics/trace instrumentation.
 
-use crate::BatchSampler;
+use crate::metrics::{MetricsRecorder, PhaseTimings};
+use crate::{BatchSampler, StepMetrics};
 use pipefisher_nn::{BertForPreTraining, ForwardCtx, PreTrainingBatch};
 use pipefisher_optim::{Kfac, KfacConfig, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig};
 use pipefisher_tensor::par;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Which optimizer a [`Trainer`] runs — the paper's two contenders.
 #[derive(Debug, Clone)]
@@ -33,13 +36,16 @@ pub enum OptimizerChoice {
     },
 }
 
-/// A completed training run's loss history.
+/// A completed training run's loss history and per-step metrics.
 #[derive(Debug, Clone)]
 pub struct TrainRun {
     /// Per-step total pretraining loss (MLM + NSP), as Figure 6 plots.
     pub losses: Vec<f64>,
     /// Optimizer label for reports.
     pub label: String,
+    /// One [`StepMetrics`] row per step, in step order (serialize with
+    /// [`crate::to_jsonl`]).
+    pub metrics: Vec<StepMetrics>,
 }
 
 impl TrainRun {
@@ -140,10 +146,7 @@ impl Trainer {
             );
             return self.run_stale_lamb(model, choice, steps, opts);
         }
-        if opts.accumulation_steps > 1 {
-            return self.run_accumulated(model, choice, steps, opts.accumulation_steps);
-        }
-        self.run(model, choice, steps)
+        self.run_accumulated(model, choice, steps, opts.accumulation_steps)
     }
 
     /// Samples the step's micro-batches up front (serially, preserving the
@@ -172,6 +175,10 @@ impl Trainer {
             .collect()
     }
 
+    /// One optimizer-agnostic accumulated-step loop: sample → accumulate
+    /// micro-batch gradients → scale to the mean → update, with trace spans
+    /// and a [`StepMetrics`] row per step. `accumulation == 1` reproduces
+    /// the plain per-step loop bitwise (`scale_inplace(1.0)` is exact).
     fn run_accumulated(
         &mut self,
         model: &mut BertForPreTraining,
@@ -179,64 +186,55 @@ impl Trainer {
         steps: usize,
         accumulation: usize,
     ) -> TrainRun {
-        // Accumulate micro-batch gradients, then delegate the update to the
-        // same per-step machinery by scaling grads to the mean.
         let scale = 1.0 / accumulation as f64;
-        match choice {
-            OptimizerChoice::Lamb { weight_decay } => {
-                let mut opt = Lamb::new(*weight_decay);
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    model.zero_grad();
-                    let batches = self.sample_micro_batches(accumulation, false);
-                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
-                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
-                    losses.push(loss * scale);
-                    let lr = self.schedule.lr_at(step);
-                    opt.begin_step();
-                    model.visit_params(&mut |p| opt.step_param(p, lr));
-                }
-                TrainRun {
-                    losses,
-                    label: "NVLAMB".to_string(),
-                }
+        let mut opt = AnyOpt::new(choice);
+        let mut losses = Vec::with_capacity(steps);
+        let mut recorder = MetricsRecorder::default();
+        for step in 0..steps {
+            let _step_span = pipefisher_trace::span("step", "train");
+            model.zero_grad();
+            let refresh = opt.refreshes_curvature_at(step);
+            let t0 = Instant::now();
+            let batches = {
+                let _span = pipefisher_trace::span("sample", "train");
+                self.sample_micro_batches(accumulation, refresh)
+            };
+            let t1 = Instant::now();
+            let loss = {
+                let _span = pipefisher_trace::span("forward_backward", "train");
+                let total: f64 = accumulate_micro_batches(model, &batches).iter().sum();
+                total * scale
+            };
+            model.visit_params(&mut |p| p.grad.scale_inplace(scale));
+            let t2 = Instant::now();
+            losses.push(loss);
+            pipefisher_trace::counter("loss", loss);
+            let grad_norm = global_grad_norm(model);
+            let lr = self.schedule.lr_at(step);
+            let t3 = Instant::now();
+            {
+                let _span = pipefisher_trace::span("optimizer_step", "train");
+                opt.apply(model, lr);
             }
-            OptimizerChoice::Kfac { weight_decay, kfac } => {
-                let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    model.zero_grad();
-                    let refresh = (step as u64).is_multiple_of(kfac.curvature_interval as u64);
-                    let batches = self.sample_micro_batches(accumulation, refresh);
-                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
-                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
-                    losses.push(loss * scale);
-                    let lr = self.schedule.lr_at(step);
-                    opt.step(model, lr);
-                }
-                TrainRun {
-                    losses,
-                    label: "K-FAC".to_string(),
-                }
-            }
-            OptimizerChoice::Shampoo { shampoo } => {
-                let mut opt = Shampoo::new(shampoo.clone());
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    model.zero_grad();
-                    let batches = self.sample_micro_batches(accumulation, false);
-                    let loss: f64 = accumulate_micro_batches(model, &batches).iter().sum();
-                    model.visit_params(&mut |p| p.grad.scale_inplace(scale));
-                    losses.push(loss * scale);
-                    let lr = self.schedule.lr_at(step);
-                    opt.begin_step();
-                    model.visit_params(&mut |p| opt.step_param(p, lr));
-                }
-                TrainRun {
-                    losses,
-                    label: "Shampoo".to_string(),
-                }
-            }
+            let t4 = Instant::now();
+            recorder.record(
+                step,
+                loss,
+                grad_norm,
+                lr,
+                PhaseTimings {
+                    data_ms: (t1 - t0).as_secs_f64() * 1e3,
+                    forward_backward_ms: (t2 - t1).as_secs_f64() * 1e3,
+                    optimizer_ms: (t4 - t3).as_secs_f64() * 1e3,
+                },
+                refresh,
+                opt.inverts_at(step),
+            );
+        }
+        TrainRun {
+            losses,
+            label: opt.label().to_string(),
+            metrics: recorder.into_rows(),
         }
     }
 
@@ -252,101 +250,155 @@ impl Trainer {
         };
         let mut opt = Lamb::new(*weight_decay);
         let mut losses = Vec::with_capacity(steps);
+        let mut recorder = MetricsRecorder::default();
         // Queue of delayed gradients: (name → grad) snapshots.
         let mut queue: std::collections::VecDeque<Vec<pipefisher_tensor::Matrix>> =
             std::collections::VecDeque::new();
         for step in 0..steps {
-            let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
+            let _step_span = pipefisher_trace::span("step", "train");
+            let t0 = Instant::now();
+            let batch = {
+                let _span = pipefisher_trace::span("sample", "train");
+                self.sampler.sample(self.batch_size, &mut self.data_rng)
+            };
+            let t1 = Instant::now();
             model.zero_grad();
-            let out = model.train_step(&batch, &ForwardCtx::train());
+            let out = {
+                let _span = pipefisher_trace::span("forward_backward", "train");
+                model.train_step(&batch, &ForwardCtx::train())
+            };
+            let t2 = Instant::now();
             losses.push(out.total_loss);
+            pipefisher_trace::counter("loss", out.total_loss);
             // Snapshot the fresh gradient, then apply the one from m steps ago.
             let mut snapshot = Vec::new();
             model.visit_params(&mut |p| snapshot.push(p.grad.clone()));
             queue.push_back(snapshot);
+            let mut lr = 0.0;
+            let t3 = Instant::now();
             if queue.len() > opts.grad_delay {
+                let _span = pipefisher_trace::span("optimizer_step", "train");
                 let stale = queue.pop_front().expect("queue nonempty");
                 let mut idx = 0;
                 model.visit_params(&mut |p| {
                     p.grad = stale[idx].clone();
                     idx += 1;
                 });
-                let lr = self.schedule.lr_at(step);
+                lr = self.schedule.lr_at(step);
                 opt.begin_step();
                 model.visit_params(&mut |p| opt.step_param(p, lr));
             }
+            let t4 = Instant::now();
+            // Gradient norm of the gradient the optimizer consumed (the
+            // stale one once the queue is full; the fresh one before).
+            let grad_norm = global_grad_norm(model);
+            recorder.record(
+                step,
+                out.total_loss,
+                grad_norm,
+                lr,
+                PhaseTimings {
+                    data_ms: (t1 - t0).as_secs_f64() * 1e3,
+                    forward_backward_ms: (t2 - t1).as_secs_f64() * 1e3,
+                    optimizer_ms: (t4 - t3).as_secs_f64() * 1e3,
+                },
+                false,
+                false,
+            );
         }
         TrainRun {
             losses,
             label: format!("NVLAMB (grad delay {})", opts.grad_delay),
+            metrics: recorder.into_rows(),
         }
     }
 
     /// Trains `model` for `steps` steps, returning the loss history.
+    ///
+    /// Runs the accumulated loop with a single micro-batch per step, which
+    /// is bitwise identical to the historical dedicated per-step loop (the
+    /// mean-scaling multiplies by exactly 1.0).
     pub fn run(
         &mut self,
         model: &mut BertForPreTraining,
         choice: &OptimizerChoice,
         steps: usize,
     ) -> TrainRun {
+        self.run_accumulated(model, choice, steps, 1)
+    }
+}
+
+/// Global L2 norm over every parameter gradient.
+fn global_grad_norm(model: &mut BertForPreTraining) -> f64 {
+    let mut sq = 0.0;
+    model.visit_params(&mut |p| {
+        sq += p.grad.as_slice().iter().map(|v| v * v).sum::<f64>();
+    });
+    sq.sqrt()
+}
+
+/// The trainer's optimizer dispatch: one enum instead of three copies of
+/// the step loop, carrying what the metrics recorder needs (labels and the
+/// K-FAC refresh cadence).
+enum AnyOpt {
+    Lamb(Lamb),
+    Kfac { opt: Kfac<Lamb>, config: KfacConfig },
+    Shampoo(Shampoo),
+}
+
+impl AnyOpt {
+    fn new(choice: &OptimizerChoice) -> AnyOpt {
         match choice {
-            OptimizerChoice::Lamb { weight_decay } => {
-                let mut opt = Lamb::new(*weight_decay);
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                    model.zero_grad();
-                    let out = model.train_step(&batch, &ForwardCtx::train());
-                    losses.push(out.total_loss);
-                    let lr = self.schedule.lr_at(step);
-                    opt.begin_step();
-                    model.visit_params(&mut |p| opt.step_param(p, lr));
-                }
-                TrainRun {
-                    losses,
-                    label: "NVLAMB".to_string(),
-                }
+            OptimizerChoice::Lamb { weight_decay } => AnyOpt::Lamb(Lamb::new(*weight_decay)),
+            OptimizerChoice::Kfac { weight_decay, kfac } => AnyOpt::Kfac {
+                opt: Kfac::new(kfac.clone(), Lamb::new(*weight_decay)),
+                config: kfac.clone(),
+            },
+            OptimizerChoice::Shampoo { shampoo } => AnyOpt::Shampoo(Shampoo::new(shampoo.clone())),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            AnyOpt::Lamb(_) => "NVLAMB",
+            AnyOpt::Kfac { .. } => "K-FAC",
+            AnyOpt::Shampoo(_) => "Shampoo",
+        }
+    }
+
+    /// Whether step `step` captures activations/errors and folds them into
+    /// the Kronecker factors (what PipeFisher's bubble schedule computes).
+    fn refreshes_curvature_at(&self, step: usize) -> bool {
+        match self {
+            AnyOpt::Kfac { config, .. } => {
+                (step as u64).is_multiple_of(config.curvature_interval as u64)
             }
-            OptimizerChoice::Kfac { weight_decay, kfac } => {
-                let mut opt = Kfac::new(kfac.clone(), Lamb::new(*weight_decay));
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                    model.zero_grad();
-                    // Capture activations/errors only on curvature-refresh
-                    // steps (what PipeFisher's bubble schedule computes).
-                    let refresh = (step as u64).is_multiple_of(kfac.curvature_interval as u64);
-                    let ctx = if refresh {
-                        ForwardCtx::train_with_capture()
-                    } else {
-                        ForwardCtx::train()
-                    };
-                    let out = model.train_step(&batch, &ctx);
-                    losses.push(out.total_loss);
-                    let lr = self.schedule.lr_at(step);
-                    opt.step(model, lr);
-                }
-                TrainRun {
-                    losses,
-                    label: "K-FAC".to_string(),
-                }
+            _ => false,
+        }
+    }
+
+    /// Whether step `step` recomputes the damped factor inverses (mirrors
+    /// [`Kfac::step`]'s internal cadence).
+    fn inverts_at(&self, step: usize) -> bool {
+        match self {
+            AnyOpt::Kfac { config, .. } => {
+                (step as u64).is_multiple_of(config.inversion_interval as u64)
             }
-            OptimizerChoice::Shampoo { shampoo } => {
-                let mut opt = Shampoo::new(shampoo.clone());
-                let mut losses = Vec::with_capacity(steps);
-                for step in 0..steps {
-                    let batch = self.sampler.sample(self.batch_size, &mut self.data_rng);
-                    model.zero_grad();
-                    let out = model.train_step(&batch, &ForwardCtx::train());
-                    losses.push(out.total_loss);
-                    let lr = self.schedule.lr_at(step);
-                    opt.begin_step();
-                    model.visit_params(&mut |p| opt.step_param(p, lr));
-                }
-                TrainRun {
-                    losses,
-                    label: "Shampoo".to_string(),
-                }
+            _ => false,
+        }
+    }
+
+    /// Applies one optimizer update to the accumulated gradients.
+    fn apply(&mut self, model: &mut BertForPreTraining, lr: f64) {
+        match self {
+            AnyOpt::Lamb(opt) => {
+                opt.begin_step();
+                model.visit_params(&mut |p| opt.step_param(p, lr));
+            }
+            AnyOpt::Kfac { opt, .. } => opt.step(model, lr),
+            AnyOpt::Shampoo(opt) => {
+                opt.begin_step();
+                model.visit_params(&mut |p| opt.step_param(p, lr));
             }
         }
     }
@@ -501,6 +553,7 @@ mod tests {
         let run = TrainRun {
             losses: vec![5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0],
             label: "x".into(),
+            metrics: Vec::new(),
         };
         let sm = run.smoothed(3);
         assert_eq!(sm.len(), 7);
@@ -672,6 +725,43 @@ mod tests {
         par::set_max_threads(0);
         assert_eq!(r1.losses, r2.losses);
         assert!(r1.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn metrics_rows_track_steps_and_refreshes() {
+        let (mut trainer, mut model) = quick_setup(3);
+        let choice = OptimizerChoice::Kfac {
+            weight_decay: 0.01,
+            kfac: KfacConfig {
+                damping: 1e-2,
+                curvature_interval: 2,
+                inversion_interval: 4,
+                ..Default::default()
+            },
+        };
+        let run = trainer.run(&mut model, &choice, 5);
+        assert_eq!(run.metrics.len(), 5);
+        for (i, m) in run.metrics.iter().enumerate() {
+            assert_eq!(m.step, i);
+            assert_eq!(m.loss, run.losses[i]);
+            assert!(m.loss.is_finite() && m.grad_norm.is_finite());
+            assert!(m.grad_norm >= 0.0 && m.lr > 0.0);
+            assert!(m.data_ms >= 0.0 && m.forward_backward_ms >= 0.0 && m.optimizer_ms >= 0.0);
+            // Curvature every 2 steps, inversion every 4.
+            assert_eq!(m.curvature_refreshed, i % 2 == 0);
+        }
+        assert_eq!(run.metrics[4].curvature_refreshes, 3); // steps 0, 2, 4
+        assert_eq!(run.metrics[4].inversions, 2); // steps 0, 4
+        let jsonl = crate::to_jsonl(&run.metrics);
+        assert_eq!(jsonl.lines().count(), 5);
+    }
+
+    #[test]
+    fn lamb_metrics_have_no_kfac_refreshes() {
+        let (mut trainer, mut model) = quick_setup(8);
+        let run = trainer.run(&mut model, &OptimizerChoice::Lamb { weight_decay: 0.01 }, 3);
+        assert!(run.metrics.iter().all(|m| m.curvature_refreshes == 0));
+        assert!(run.metrics.iter().all(|m| m.inversions == 0));
     }
 
     #[test]

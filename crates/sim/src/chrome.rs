@@ -1,0 +1,199 @@
+//! Chrome/Perfetto export of simulated [`Timeline`]s.
+//!
+//! Converts a timeline — the simulator's Nsight-profile equivalent — into
+//! `trace_event` slices that `ui.perfetto.dev` or `chrome://tracing` render
+//! as one track per device, color-coded by work kind, with the idle gaps
+//! PipeFisher targets drawn as explicit `bubble` slices. Because wall-clock
+//! spans from the real trainer export to the same format (under a different
+//! `pid`), a simulated step and a measured step can be loaded side by side.
+
+use crate::timeline::Timeline;
+use pipefisher_pipeline::WorkKind;
+use pipefisher_trace::{chrome_trace_json, TraceEvent};
+use serde_json::{json, Value};
+
+/// The `pid` simulated-timeline tracks are grouped under (wall-clock spans
+/// from the live process use pid 0).
+pub const SIM_PID: u64 = 1;
+
+/// Trace-viewer color (`cname`) for each work kind.
+fn kind_cname(kind: WorkKind) -> &'static str {
+    match kind {
+        WorkKind::Forward => "thread_state_running",
+        WorkKind::Backward => "rail_response",
+        WorkKind::Recompute => "thread_state_runnable",
+        WorkKind::Curvature(_) => "yellow",
+        WorkKind::Inversion(_) => "terrible",
+        WorkKind::Precondition => "rail_animation",
+        WorkKind::SyncGrad => "grey",
+        WorkKind::SyncCurvature => "light_memory_dump",
+    }
+}
+
+/// Event category for each work kind (Perfetto's filter facet).
+fn kind_category(kind: WorkKind) -> &'static str {
+    match kind {
+        WorkKind::Forward => "fwd",
+        WorkKind::Backward => "bwd",
+        WorkKind::Recompute => "recompute",
+        WorkKind::Curvature(_) => "curvature",
+        WorkKind::Inversion(_) => "inversion",
+        WorkKind::Precondition => "precondition",
+        WorkKind::SyncGrad | WorkKind::SyncCurvature => "sync",
+    }
+}
+
+impl Timeline {
+    /// This timeline as Chrome `trace_event` records: per-device metadata,
+    /// one complete slice per interval (in [`Timeline::sorted_intervals`]
+    /// order, so output does not depend on push order), and one `bubble`
+    /// slice per idle gap within `[0, makespan]`.
+    ///
+    /// Simulated time is unitless; `us_per_unit` scales it to the format's
+    /// microseconds (e.g. `1e6` when one unit is a second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `us_per_unit` is not strictly positive.
+    pub fn chrome_trace_events(&self, us_per_unit: f64) -> Vec<TraceEvent> {
+        assert!(
+            us_per_unit > 0.0,
+            "chrome_trace_events: nonpositive time scale"
+        );
+        let mut events = vec![TraceEvent::process_name(SIM_PID, "simulated pipeline")];
+        for d in 0..self.n_devices() {
+            events.push(TraceEvent::thread_name(
+                SIM_PID,
+                d as u64,
+                format!("device {d}"),
+            ));
+        }
+        for i in self.sorted_intervals() {
+            let name = match i.micro_batch {
+                Some(mb) => format!("{} mb{mb}", i.kind.label()),
+                None => i.kind.label().to_string(),
+            };
+            let mut event = TraceEvent::slice(
+                name,
+                kind_category(i.kind),
+                i.start * us_per_unit,
+                i.len() * us_per_unit,
+                SIM_PID,
+                i.device as u64,
+            )
+            .with_cname(kind_cname(i.kind))
+            .with_arg("stage", json!(i.stage));
+            if let Some(mb) = i.micro_batch {
+                event = event.with_arg("micro_batch", json!(mb));
+            }
+            events.push(event);
+        }
+        let horizon = self.makespan();
+        for d in 0..self.n_devices() {
+            for (s, e) in self.bubbles(d, horizon) {
+                events.push(
+                    TraceEvent::slice(
+                        "bubble",
+                        "bubble",
+                        s * us_per_unit,
+                        (e - s) * us_per_unit,
+                        SIM_PID,
+                        d as u64,
+                    )
+                    .with_cname("white"),
+                );
+            }
+        }
+        events
+    }
+
+    /// [`Timeline::chrome_trace_events`] wrapped in the Chrome "JSON Object
+    /// Format" envelope, ready to write to a `.json` file.
+    pub fn chrome_trace_json(&self, us_per_unit: f64) -> Value {
+        chrome_trace_json(&self.chrome_trace_events(us_per_unit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Interval;
+    use pipefisher_trace::Phase;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new(2);
+        t.push(Interval {
+            device: 0,
+            start: 0.0,
+            end: 1.0,
+            kind: WorkKind::Forward,
+            stage: 0,
+            micro_batch: Some(0),
+        });
+        t.push(Interval {
+            device: 0,
+            start: 2.0,
+            end: 4.0,
+            kind: WorkKind::Backward,
+            stage: 0,
+            micro_batch: Some(0),
+        });
+        t.push(Interval {
+            device: 1,
+            start: 1.0,
+            end: 2.0,
+            kind: WorkKind::Inversion(pipefisher_pipeline::Factor::A),
+            stage: 1,
+            micro_batch: None,
+        });
+        t
+    }
+
+    #[test]
+    fn every_interval_becomes_a_slice() {
+        let t = sample();
+        let events = t.chrome_trace_events(1000.0);
+        let work: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == Phase::Complete && e.cat != "bubble")
+            .collect();
+        assert_eq!(work.len(), t.intervals().len());
+        // dev0 F at [0,1): ts 0µs dur 1000µs on tid 0.
+        let f = work.iter().find(|e| e.name == "F mb0").unwrap();
+        assert_eq!(f.ts_us, 0.0);
+        assert_eq!(f.dur_us, 1000.0);
+        assert_eq!((f.pid, f.tid), (SIM_PID, 0));
+        // The inversion is color-coded and categorized as K-FAC work.
+        let inv = work.iter().find(|e| e.name == "Ia").unwrap();
+        assert_eq!(inv.cat, "inversion");
+        assert_eq!(inv.cname, Some("terrible"));
+    }
+
+    #[test]
+    fn bubbles_are_explicit_slices() {
+        let t = sample();
+        let events = t.chrome_trace_events(1000.0);
+        let bubbles: Vec<_> = events.iter().filter(|e| e.cat == "bubble").collect();
+        // dev0: [1,2); dev1: [0,1) and [2,4).
+        assert_eq!(bubbles.len(), 3);
+        let total_bubble_us: f64 = bubbles.iter().map(|e| e.dur_us).sum();
+        assert!((total_bubble_us - t.total_bubble(t.makespan()) * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_is_push_order_independent_and_roundtrips() {
+        let a = sample();
+        let mut b = Timeline::new(2);
+        for i in a.intervals().iter().rev() {
+            b.push(i.clone());
+        }
+        let ja = serde_json::to_string_pretty(&a.chrome_trace_json(1000.0)).unwrap();
+        let jb = serde_json::to_string_pretty(&b.chrome_trace_json(1000.0)).unwrap();
+        assert_eq!(ja, jb);
+        let back = serde_json::from_str(&ja).unwrap();
+        assert_eq!(
+            back.get("traceEvents").unwrap().as_array().unwrap().len(),
+            1 + 2 + 3 + 3 // process_name + thread_names + work + bubbles
+        );
+    }
+}

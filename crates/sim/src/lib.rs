@@ -24,11 +24,13 @@
 //! assert!((timeline.utilization() - 4.0 / 7.0).abs() < 1e-9);
 //! ```
 
+mod chrome;
 mod collective;
 mod cost;
 mod engine;
 mod timeline;
 
+pub use chrome::SIM_PID;
 pub use collective::ring_allreduce_time;
 pub use cost::{CostModel, KindCost, UniformCost};
 pub use engine::simulate;

@@ -214,18 +214,27 @@ impl Timeline {
         true
     }
 
+    /// Intervals in canonical rendering order — by `(device, start, end,
+    /// kind label)` — the single sort all exporters ([`Timeline::to_csv`],
+    /// [`Timeline::render_ascii`], [`Timeline::chrome_trace_events`]) share,
+    /// so every view of a timeline lists the same intervals in the same
+    /// order regardless of push order.
+    pub fn sorted_intervals(&self) -> Vec<&Interval> {
+        let mut sorted: Vec<&Interval> = self.intervals.iter().collect();
+        sorted.sort_by(|a, b| {
+            (a.device, a.start, a.end, a.kind.label())
+                .partial_cmp(&(b.device, b.start, b.end, b.kind.label()))
+                .expect("finite times")
+        });
+        sorted
+    }
+
     /// Serializes the timeline as CSV
     /// (`device,start,end,kind,stage,micro_batch` with a header row), for
     /// external plotting of the profile figures.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("device,start,end,kind,stage,micro_batch\n");
-        let mut sorted: Vec<&Interval> = self.intervals.iter().collect();
-        sorted.sort_by(|a, b| {
-            (a.device, a.start)
-                .partial_cmp(&(b.device, b.start))
-                .expect("finite times")
-        });
-        for i in sorted {
+        for i in self.sorted_intervals() {
             let mb = i.micro_batch.map_or(String::new(), |m| m.to_string());
             out.push_str(&format!(
                 "{},{:.9},{:.9},{},{},{}\n",
@@ -250,10 +259,11 @@ impl Timeline {
         if span <= 0.0 || width == 0 {
             return String::new();
         }
+        let sorted = self.sorted_intervals();
         let mut out = String::new();
         for d in 0..self.n_devices {
             let mut row = vec!['·'; width];
-            for i in self.intervals.iter().filter(|i| i.device == d) {
+            for i in sorted.iter().filter(|i| i.device == d) {
                 let c = i.kind.label().chars().next().unwrap_or('?');
                 let s = ((i.start / span) * width as f64).floor() as usize;
                 let e = (((i.end / span) * width as f64).ceil() as usize).min(width);
@@ -368,5 +378,53 @@ mod tests {
         assert!(lines[0].contains('F'));
         assert!(lines[0].contains('B'));
         assert!(lines[1].contains('·'));
+    }
+
+    #[test]
+    fn sorted_intervals_canonical_order() {
+        let mut t = Timeline::new(2);
+        t.push(iv(1, 1.0, 2.0, WorkKind::Forward));
+        t.push(iv(0, 2.0, 4.0, WorkKind::Backward));
+        t.push(iv(0, 0.0, 1.0, WorkKind::Forward));
+        // Equal (device, start): longer interval and later label sort last.
+        t.push(iv(0, 0.0, 1.0, WorkKind::Recompute));
+        let order: Vec<(usize, f64, &str)> = t
+            .sorted_intervals()
+            .iter()
+            .map(|i| (i.device, i.start, i.kind.label()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0, 0.0, "F"), (0, 0.0, "R"), (0, 2.0, "B"), (1, 1.0, "F"),]
+        );
+    }
+
+    #[test]
+    fn csv_and_ascii_are_push_order_independent() {
+        // Both exporters run off the shared sorted path, so any push order
+        // produces identical output.
+        let forward = sample();
+        let mut reversed = Timeline::new(2);
+        for i in forward.intervals().iter().rev() {
+            reversed.push(i.clone());
+        }
+        assert_eq!(forward.to_csv(), reversed.to_csv());
+        assert_eq!(forward.render_ascii(64), reversed.render_ascii(64));
+    }
+
+    #[test]
+    fn ascii_overlap_draws_later_sorted_interval_on_top() {
+        // Two same-device intervals covering the same span: the canonical
+        // order (not push order) decides which character wins the cells.
+        let mut a = Timeline::new(1);
+        a.push(iv(0, 0.0, 2.0, WorkKind::Forward));
+        a.push(iv(0, 0.0, 2.0, WorkKind::Backward));
+        let mut b = Timeline::new(1);
+        b.push(iv(0, 0.0, 2.0, WorkKind::Backward));
+        b.push(iv(0, 0.0, 2.0, WorkKind::Forward));
+        let art = a.render_ascii(8);
+        assert_eq!(art, b.render_ascii(8));
+        // 'F' sorts after 'B' at equal (device, start, end), so F is drawn.
+        assert!(art.contains('F') && !art.contains('B'));
     }
 }

@@ -1,0 +1,119 @@
+//! Property tests for [`Timeline`] invariants.
+//!
+//! Timelines are built from *valid* pushes — per-device sequences of
+//! `(gap, len)` pairs appended left to right, which is exactly the shape a
+//! correct simulation produces (each device executes its queue in order) —
+//! and the profile quantities the PipeFisher assignment relies on are
+//! checked against each other.
+
+use pipefisher_pipeline::{Factor, WorkKind};
+use pipefisher_sim::{Interval, Timeline};
+use proptest::prelude::*;
+
+/// One device's schedule: a list of (leading idle gap, busy length) pairs.
+type DeviceRuns = Vec<(f64, f64)>;
+
+fn kind_for(slot: usize) -> WorkKind {
+    match slot % 6 {
+        0 => WorkKind::Forward,
+        1 => WorkKind::Backward,
+        2 => WorkKind::Recompute,
+        3 => WorkKind::Curvature(Factor::A),
+        4 => WorkKind::Inversion(Factor::B),
+        _ => WorkKind::Precondition,
+    }
+}
+
+/// Builds a timeline over `n_devices` from per-device run lists, appending
+/// each run after the previous one — overlap-free by construction.
+fn build(n_devices: usize, runs: &[DeviceRuns]) -> Timeline {
+    let mut t = Timeline::new(n_devices);
+    for (device, device_runs) in runs.iter().enumerate() {
+        let mut cursor = 0.0;
+        for (slot, (gap, len)) in device_runs.iter().enumerate() {
+            let start = cursor + gap;
+            let end = start + len;
+            t.push(Interval {
+                device,
+                start,
+                end,
+                kind: kind_for(slot),
+                stage: device,
+                micro_batch: Some(slot),
+            });
+            cursor = end;
+        }
+    }
+    t
+}
+
+fn runs_strategy(n_devices: usize) -> impl Strategy<Value = Vec<DeviceRuns>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0.0f64..3.0, 0.01f64..2.0), 6),
+        n_devices,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_pushes_stay_overlap_free(runs in runs_strategy(4)) {
+        let t = build(4, &runs);
+        prop_assert!(t.is_overlap_free(1e-9));
+    }
+
+    #[test]
+    fn makespan_bounds_every_device_busy_time(runs in runs_strategy(4)) {
+        let t = build(4, &runs);
+        let span = t.makespan();
+        for d in 0..t.n_devices() {
+            prop_assert!(t.device_busy(d) <= span + 1e-9, "device {d}");
+        }
+        prop_assert!(span >= t.first_start());
+    }
+
+    #[test]
+    fn bubble_plus_busy_fills_the_horizon(runs in runs_strategy(3)) {
+        let t = build(3, &runs);
+        let horizon = t.makespan();
+        let busy: f64 = (0..t.n_devices()).map(|d| t.device_busy(d)).sum();
+        let total = t.total_bubble(horizon) + busy;
+        let expect = t.n_devices() as f64 * horizon;
+        prop_assert!(
+            (total - expect).abs() < 1e-6 * expect.max(1.0),
+            "bubble+busy {total} vs {expect}"
+        );
+        // Cross-check against the utilization identity on the same window.
+        if horizon > 0.0 {
+            prop_assert!((busy / (horizon * t.n_devices() as f64) - t.utilization()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_commutes_on_disjoint_device_sets(
+        runs_low in runs_strategy(2),
+        runs_high in runs_strategy(2),
+    ) {
+        // `a` occupies devices 0–1, `b` devices 2–3 of a 4-device timeline.
+        let a = build(4, &runs_low);
+        let mut high_padded: Vec<DeviceRuns> = vec![Vec::new(), Vec::new()];
+        high_padded.extend(runs_high);
+        let b = build(4, &high_padded);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        // Merge order must not matter for any exported view or metric.
+        prop_assert_eq!(ab.to_csv(), ba.to_csv());
+        prop_assert_eq!(ab.render_ascii(80), ba.render_ascii(80));
+        prop_assert_eq!(ab.makespan(), ba.makespan());
+        prop_assert_eq!(ab.total_bubble(ab.makespan()), ba.total_bubble(ba.makespan()));
+        prop_assert!(ab.is_overlap_free(1e-9));
+        for d in 0..4 {
+            prop_assert_eq!(ab.device_busy(d), ba.device_busy(d));
+        }
+    }
+}

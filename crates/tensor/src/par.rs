@@ -208,10 +208,15 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
     if tasks.is_empty() {
         return;
     }
+    // Wall-clock span over the whole fork/join scope (recorded on the
+    // caller's track); each task records its own span on whichever worker
+    // ran it, so Perfetto shows per-lane pool occupancy.
+    let _scope_span = pipefisher_trace::span("par_scope", "pool");
     let lanes = max_threads();
     let inline = lanes <= 1 || tasks.len() == 1 || IN_POOL_WORKER.with(|f| f.get());
     if inline {
         for task in tasks {
+            let _task_span = pipefisher_trace::span("par_task", "pool");
             task();
         }
         return;
@@ -230,6 +235,7 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
         let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new({
             let latch = std::sync::Arc::clone(&latch);
             move || {
+                let _task_span = pipefisher_trace::span("par_task", "pool");
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
                     latch.record_panic(payload);
                 }
@@ -445,6 +451,38 @@ mod tests {
         }
         set_max_threads(0);
         set_par_threshold(DEFAULT_PAR_THRESHOLD);
+    }
+
+    #[test]
+    fn pool_emits_spans_when_tracing() {
+        let _guard = settings_lock();
+        set_max_threads(2);
+        let _ = pipefisher_trace::drain();
+        pipefisher_trace::set_enabled(true);
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_tasks(tasks);
+        pipefisher_trace::set_enabled(false);
+        set_max_threads(0);
+        let events = pipefisher_trace::drain();
+        // Concurrent tests may contribute extra spans; ours must be there.
+        let task_spans = events.iter().filter(|e| e.name == "par_task").count();
+        assert!(
+            task_spans >= 8,
+            "expected >= 8 task spans, got {task_spans}"
+        );
+        assert!(events.iter().any(|e| e.name == "par_scope"));
+        assert!(events
+            .iter()
+            .filter(|e| e.phase == pipefisher_trace::Phase::Complete)
+            .all(|e| e.ts_us >= 0.0 && e.dur_us >= 0.0));
     }
 
     #[test]

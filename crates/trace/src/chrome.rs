@@ -1,0 +1,221 @@
+//! The Chrome/Perfetto `trace_event` JSON model.
+//!
+//! Follows the Trace Event Format's "JSON Object Format": events carry a
+//! phase (`ph`), microsecond timestamps (`ts`, `dur`), and a process/thread
+//! pair (`pid`, `tid`) that Perfetto renders as one track per `(pid, tid)`.
+
+use serde_json::{json, Value};
+
+/// Event phase — the subset of `ph` codes this workspace emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `X`: a complete slice with a start and a duration.
+    Complete,
+    /// `C`: a counter sample.
+    Counter,
+    /// `M`: metadata (process/thread names).
+    Metadata,
+}
+
+impl Phase {
+    /// The `ph` code string.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Phase::Complete => "X",
+            Phase::Counter => "C",
+            Phase::Metadata => "M",
+        }
+    }
+}
+
+/// One `trace_event` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Slice/counter name (for metadata: the metadata kind).
+    pub name: String,
+    /// Category, shown by Perfetto's filter UI (e.g. `fwd`, `bubble`).
+    pub cat: String,
+    /// Event phase.
+    pub phase: Phase,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete slices only).
+    pub dur_us: f64,
+    /// Process id — Perfetto groups tracks by process.
+    pub pid: u64,
+    /// Thread id — one track per `(pid, tid)`.
+    pub tid: u64,
+    /// Chrome trace-viewer color name (`cname`), if any.
+    pub cname: Option<&'static str>,
+    /// Extra `args` key/value pairs (insertion-ordered).
+    pub args: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// A complete slice (`ph: "X"`).
+    pub fn slice(
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+        pid: u64,
+        tid: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: cat.into(),
+            phase: Phase::Complete,
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            cname: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// A counter sample (`ph: "C"`); the value renders as a stacked area.
+    pub fn counter(
+        name: impl Into<String>,
+        ts_us: f64,
+        pid: u64,
+        tid: u64,
+        value: f64,
+    ) -> TraceEvent {
+        let name = name.into();
+        TraceEvent {
+            args: vec![(name.clone(), json!(value))],
+            name,
+            cat: "counter".to_string(),
+            phase: Phase::Counter,
+            ts_us,
+            dur_us: 0.0,
+            pid,
+            tid,
+            cname: None,
+        }
+    }
+
+    /// A `process_name` metadata record naming `pid`'s track group.
+    pub fn process_name(pid: u64, name: impl Into<String>) -> TraceEvent {
+        TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata".to_string(),
+            phase: Phase::Metadata,
+            ts_us: 0.0,
+            dur_us: 0.0,
+            pid,
+            tid: 0,
+            cname: None,
+            args: vec![("name".to_string(), json!(name.into()))],
+        }
+    }
+
+    /// A `thread_name` metadata record naming the `(pid, tid)` track.
+    pub fn thread_name(pid: u64, tid: u64, name: impl Into<String>) -> TraceEvent {
+        TraceEvent {
+            name: "thread_name".to_string(),
+            cat: "__metadata".to_string(),
+            phase: Phase::Metadata,
+            ts_us: 0.0,
+            dur_us: 0.0,
+            pid,
+            tid,
+            cname: None,
+            args: vec![("name".to_string(), json!(name.into()))],
+        }
+    }
+
+    /// Sets the trace-viewer color name.
+    pub fn with_cname(mut self, cname: &'static str) -> TraceEvent {
+        self.cname = Some(cname);
+        self
+    }
+
+    /// Appends one `args` entry.
+    pub fn with_arg(mut self, key: impl Into<String>, value: Value) -> TraceEvent {
+        self.args.push((key.into(), value));
+        self
+    }
+
+    /// This event as a `trace_event` JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), json!(self.name.as_str())),
+            ("cat".to_string(), json!(self.cat.as_str())),
+            ("ph".to_string(), json!(self.phase.code())),
+            ("ts".to_string(), json!(self.ts_us)),
+            ("pid".to_string(), json!(self.pid)),
+            ("tid".to_string(), json!(self.tid)),
+        ];
+        if self.phase == Phase::Complete {
+            fields.insert(4, ("dur".to_string(), json!(self.dur_us)));
+        }
+        if let Some(cname) = self.cname {
+            fields.push(("cname".to_string(), json!(cname)));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_string(), Value::Object(self.args.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Wraps events in the Chrome "JSON Object Format" envelope that
+/// `chrome://tracing` and `ui.perfetto.dev` open directly.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> Value {
+    json!({
+        "traceEvents": events.iter().map(TraceEvent::to_json).collect::<Vec<_>>(),
+        "displayTimeUnit": "ms",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_json_has_complete_fields() {
+        let e = TraceEvent::slice("F", "fwd", 1.5, 2.0, 1, 3)
+            .with_cname("good")
+            .with_arg("stage", json!(2));
+        let v = e.to_json();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(v.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("dur").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("tid").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("cname").unwrap().as_str(), Some("good"));
+        assert_eq!(
+            v.get("args").unwrap().get("stage").unwrap().as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn counter_json_carries_value_in_args() {
+        let v = TraceEvent::counter("loss", 10.0, 0, 0, 3.25).to_json();
+        assert_eq!(v.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            v.get("args").unwrap().get("loss").unwrap().as_f64(),
+            Some(3.25)
+        );
+        assert!(v.get("dur").is_none());
+    }
+
+    #[test]
+    fn envelope_roundtrips_through_parser() {
+        let events = vec![
+            TraceEvent::process_name(1, "simulator"),
+            TraceEvent::thread_name(1, 0, "device 0"),
+            TraceEvent::slice("F", "fwd", 0.0, 1000.0, 1, 0),
+        ];
+        let v = chrome_trace_json(&events);
+        let s = serde_json::to_string_pretty(&v).unwrap();
+        let back = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(
+            back.get("traceEvents").unwrap().as_array().unwrap().len(),
+            3
+        );
+    }
+}

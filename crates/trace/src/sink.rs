@@ -1,0 +1,222 @@
+//! The process-wide trace sink: span/counter recording into per-thread
+//! buffers.
+//!
+//! Recording is off by default; every probe ([`span`], [`counter`]) costs a
+//! single relaxed atomic load until [`set_enabled`]`(true)`. When enabled,
+//! each thread appends to its own buffer (an uncontended mutex registered
+//! once per thread), so tracing adds no cross-thread synchronization to the
+//! hot path. [`drain`] collects every buffer into one event list, prefixed
+//! by `thread_name` metadata for each recording thread.
+
+use crate::chrome::TraceEvent;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Whether probes record (off by default).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Next thread-track id handed to a newly recording thread.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// The `pid` wall-clock events record under (simulated timelines use 1+).
+const HOST_PID: u64 = 0;
+
+type Buffer = Arc<Mutex<Vec<TraceEvent>>>;
+
+/// One recording thread's registration: track id, thread name, buffer.
+struct ThreadBuffer {
+    tid: u64,
+    name: String,
+    events: Buffer,
+}
+
+fn registry() -> &'static Mutex<Vec<ThreadBuffer>> {
+    static REGISTRY: OnceLock<Mutex<Vec<ThreadBuffer>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The wall-clock origin all span timestamps are measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the sink epoch.
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+thread_local! {
+    /// This thread's (tid, buffer), registered on first record.
+    static LOCAL: std::cell::OnceCell<(u64, Buffer)> = const { std::cell::OnceCell::new() };
+}
+
+/// Appends an event to the calling thread's buffer, registering the thread
+/// on first use.
+fn record(make: impl FnOnce(u64) -> TraceEvent) {
+    LOCAL.with(|cell| {
+        let (tid, buffer) = cell.get_or_init(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{tid}"), str::to_string);
+            let events: Buffer = Arc::default();
+            registry().lock().unwrap().push(ThreadBuffer {
+                tid,
+                name,
+                events: Arc::clone(&events),
+            });
+            (tid, events)
+        });
+        buffer.lock().unwrap().push(make(*tid));
+    });
+}
+
+/// Turns recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    // Fix the epoch before the first span can read it, so all timestamps
+    // are non-negative offsets from (before) enabling.
+    epoch();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether probes currently record.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An in-flight span; records a complete slice over its lifetime when
+/// dropped. Construct via [`span`].
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start_us: f64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end = now_us();
+        let (name, cat, start) = (self.name, self.cat, self.start_us);
+        record(|tid| TraceEvent::slice(name, cat, start, end - start, HOST_PID, tid));
+    }
+}
+
+/// Opens a wall-clock span; the returned guard records a slice from now
+/// until it drops. `None` (free to drop) when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(Span {
+        name,
+        cat,
+        start_us: now_us(),
+    })
+}
+
+/// Records a counter sample (e.g. the training loss) at the current time.
+#[inline]
+pub fn counter(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    record(|tid| TraceEvent::counter(name, now_us(), HOST_PID, tid, value));
+}
+
+/// Takes every recorded event out of every thread's buffer, prefixed by
+/// `process_name`/`thread_name` metadata for each thread that recorded.
+/// Events are sorted by `(ts, tid)` so output is stable for a given set of
+/// recorded events.
+pub fn drain() -> Vec<TraceEvent> {
+    let registry = registry().lock().unwrap();
+    let mut out = Vec::new();
+    let mut threads: Vec<(u64, &str)> = Vec::new();
+    for entry in registry.iter() {
+        let mut events = entry.events.lock().unwrap();
+        if !events.is_empty() {
+            threads.push((entry.tid, &entry.name));
+            out.append(&mut *events);
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.ts_us, a.tid)
+            .partial_cmp(&(b.ts_us, b.tid))
+            .expect("finite timestamps")
+    });
+    let mut head = vec![TraceEvent::process_name(HOST_PID, "pipefisher host")];
+    threads.sort_by_key(|(tid, _)| *tid);
+    for (tid, name) in threads {
+        head.push(TraceEvent::thread_name(HOST_PID, tid, name));
+    }
+    if out.is_empty() {
+        return Vec::new();
+    }
+    head.extend(out);
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the process-wide sink state.
+    fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        let _guard = sink_lock();
+        set_enabled(false);
+        let _ = drain();
+        {
+            let _s = span("noop", "test");
+            counter("noop", 1.0);
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_and_counters_drain_with_metadata() {
+        let _guard = sink_lock();
+        set_enabled(false);
+        let _ = drain();
+        set_enabled(true);
+        {
+            let _s = span("outer", "test");
+            counter("steps", 1.0);
+        }
+        let handle = std::thread::Builder::new()
+            .name("rec-thread".to_string())
+            .spawn(|| {
+                let _s = span("worker", "test");
+            })
+            .unwrap();
+        handle.join().unwrap();
+        set_enabled(false);
+        let events = drain();
+        assert!(drain().is_empty(), "drain must empty the buffers");
+        let slices: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == crate::Phase::Complete)
+            .collect();
+        assert_eq!(slices.len(), 2);
+        for s in &slices {
+            assert!(s.ts_us >= 0.0 && s.dur_us >= 0.0, "negative span time");
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.phase == crate::Phase::Counter && e.name == "steps"));
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "thread_name")
+            .flat_map(|e| e.args.iter().map(|(_, v)| v.as_str().unwrap_or("")))
+            .collect();
+        assert!(names.contains(&"rec-thread"), "thread metadata: {names:?}");
+    }
+}

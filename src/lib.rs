@@ -9,6 +9,7 @@
 //! * [`optim`] — SGD / Adam / LAMB / K-FAC optimizers.
 //! * [`pipeline`] — GPipe, 1F1B, and Chimera schedule builders.
 //! * [`sim`] — discrete-event cluster simulator and timeline profiler.
+//! * [`trace`] — profiling spans and Chrome/Perfetto trace export.
 //! * [`perfmodel`] — the paper's §3.3 analytic performance model.
 //! * [`core`] — PipeFisher's automatic bubble work assignment.
 //! * [`lm`] — synthetic language-modeling workloads and training loops.
@@ -24,3 +25,4 @@ pub use pipefisher_perfmodel as perfmodel;
 pub use pipefisher_pipeline as pipeline;
 pub use pipefisher_sim as sim;
 pub use pipefisher_tensor as tensor;
+pub use pipefisher_trace as trace;

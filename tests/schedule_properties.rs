@@ -146,3 +146,101 @@ proptest! {
         prop_assert!(large.utilization() < small.utilization() + 1e-9);
     }
 }
+
+/// Golden-schedule snapshots: the Chrome-trace export of each canonical
+/// schedule is pinned byte-for-byte against a checked-in fixture. Any change
+/// to scheduling, simulation, or the export format shows up as a readable
+/// JSON diff. Regenerate intentionally with `PIPEFISHER_BLESS=1 cargo test`.
+mod golden {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fixture_path(scheme: PipelineScheme, d: usize) -> PathBuf {
+        let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        p.push("tests");
+        p.push("golden");
+        p.push(format!("{}_d{d}.trace.json", scheme.name()));
+        p
+    }
+
+    fn check(scheme: PipelineScheme, d: usize) {
+        // N_micro = D with the canonical T_f=1, T_b=2 costs used throughout
+        // the repo's schedule renderings.
+        let graph = scheme.build(d, d);
+        let tl = simulate(&graph, &UniformCost::new(1.0, 2.0)).unwrap();
+        let json = tl.chrome_trace_json(1000.0);
+        let rendered = format!("{}\n", serde_json::to_string_pretty(&json).unwrap());
+
+        let path = fixture_path(scheme, d);
+        if std::env::var("PIPEFISHER_BLESS").is_ok() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            return;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with PIPEFISHER_BLESS=1 to regenerate",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered,
+            golden,
+            "{} {d}-stage trace drifted from {} (PIPEFISHER_BLESS=1 to re-bless)",
+            scheme.name(),
+            path.display()
+        );
+
+        // The fixture must itself be valid Chrome trace JSON: it round-trips
+        // through the parser and covers every simulated interval with a
+        // complete ("X") slice.
+        let parsed = serde_json::from_str(&golden).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        let slices = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect::<Vec<_>>();
+        let work = slices
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) != Some("bubble"))
+            .count();
+        assert_eq!(work, tl.intervals().len(), "one slice per interval");
+        for e in &slices {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+            assert!(e.get("dur").and_then(|v| v.as_f64()).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gpipe_d4_matches_golden() {
+        check(PipelineScheme::GPipe, 4);
+    }
+
+    #[test]
+    fn gpipe_d8_matches_golden() {
+        check(PipelineScheme::GPipe, 8);
+    }
+
+    #[test]
+    fn one_f_one_b_d4_matches_golden() {
+        check(PipelineScheme::OneFOneB, 4);
+    }
+
+    #[test]
+    fn one_f_one_b_d8_matches_golden() {
+        check(PipelineScheme::OneFOneB, 8);
+    }
+
+    #[test]
+    fn chimera_d4_matches_golden() {
+        check(PipelineScheme::Chimera, 4);
+    }
+
+    #[test]
+    fn chimera_d8_matches_golden() {
+        check(PipelineScheme::Chimera, 8);
+    }
+}

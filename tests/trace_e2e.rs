@@ -1,0 +1,100 @@
+//! End-to-end check of the observability subsystem: a short real training
+//! run must produce well-formed StepMetrics JSONL and a wall-clock Chrome
+//! trace that parses and contains only sane spans.
+//!
+//! The trace sink is process-global, so everything that enables/drains it
+//! lives in a single test function.
+
+use pipefisher::lm::{to_jsonl, BatchSampler, OptimizerChoice, SyntheticLanguage, Trainer};
+use pipefisher::nn::{BertConfig, BertForPreTraining};
+use pipefisher::optim::{KfacConfig, LrSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const STEPS: usize = 3;
+
+#[test]
+fn three_step_run_emits_wellformed_metrics_and_trace() {
+    let lang = SyntheticLanguage::new(52, 2, 4, 5);
+    let sampler = BatchSampler::new(lang, 8);
+    let schedule = LrSchedule::PolyWithWarmup {
+        base_lr: 1e-2,
+        warmup_steps: 1,
+        total_steps: STEPS,
+        power: 0.5,
+    };
+    let mut trainer = Trainer::new(sampler, 8, schedule, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model = BertForPreTraining::new(BertConfig::tiny(52, 16), 0.0, &mut rng);
+    let choice = OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            damping: 3e-2,
+            ema_decay: 0.5,
+            curvature_interval: 2,
+            inversion_interval: 2,
+            kl_clip: Some(1e-2),
+            factor_block_size: None,
+        },
+    };
+
+    pipefisher::trace::drain(); // discard anything from earlier in-process work
+    pipefisher::trace::set_enabled(true);
+    let run = trainer.run(&mut model, &choice, STEPS);
+    pipefisher::trace::set_enabled(false);
+    let events = pipefisher::trace::drain();
+
+    // --- StepMetrics: one row per step, monotone, finite, phases add up. ---
+    assert_eq!(run.metrics.len(), STEPS);
+    let jsonl = to_jsonl(&run.metrics);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), STEPS);
+    for (i, line) in lines.iter().enumerate() {
+        let row = serde_json::from_str(line).expect("each JSONL line parses");
+        assert_eq!(
+            row.get("step").and_then(|v| v.as_i64()),
+            Some(i as i64),
+            "step indices monotone from 0"
+        );
+        let loss = row.get("loss").and_then(|v| v.as_f64()).unwrap();
+        assert!(loss.is_finite() && loss > 0.0, "loss finite: {loss}");
+        for key in ["data_ms", "forward_backward_ms", "optimizer_ms"] {
+            let ms = row.get(key).and_then(|v| v.as_f64()).unwrap();
+            assert!(ms.is_finite() && ms >= 0.0, "{key} sane: {ms}");
+        }
+        assert!(row.get("grad_norm").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    }
+    // With curvature_interval = inversion_interval = 2 over steps 0..3 the
+    // refreshes land on steps 0 and 2.
+    let last = run.metrics.last().unwrap();
+    assert_eq!(last.curvature_refreshes, 2);
+    assert_eq!(last.inversions, 2);
+
+    // --- Wall-clock trace: parses as Chrome trace JSON, spans are sane. ---
+    assert!(!events.is_empty(), "tracing captured spans");
+    let text =
+        serde_json::to_string_pretty(&pipefisher::trace::chrome_trace_json(&events)).unwrap();
+    let parsed = serde_json::from_str(&text).expect("emitted Perfetto JSON parses");
+    let trace_events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let mut steps = 0;
+    let mut slices = 0;
+    for e in trace_events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap();
+        let ts = e.get("ts").and_then(|v| v.as_f64()).unwrap();
+        assert!(ts >= 0.0, "span ts >= 0");
+        if ph == "X" {
+            slices += 1;
+            let dur = e.get("dur").and_then(|v| v.as_f64()).unwrap();
+            assert!(dur >= 0.0, "span dur >= 0");
+            if e.get("name").and_then(|v| v.as_str()) == Some("step") {
+                steps += 1;
+            }
+        }
+    }
+    assert_eq!(steps, STEPS, "one 'step' span per training step");
+    // Each step also records sample / forward_backward / optimizer spans.
+    assert!(slices >= 4 * STEPS, "nested phase spans present: {slices}");
+}
