@@ -5,7 +5,7 @@
 //! pipefisher trace    <scheme> <D> <N_micro> [--t-f T] [--t-b T] [--out FILE]
 //! pipefisher assign   <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
 //! pipefisher model    <arch> <hw> <D> <B_micro> [--json]
-//! pipefisher train    <lamb|kfac> <steps> [--seed N] [--trace-out FILE] [--metrics-out FILE]
+//! pipefisher train    <lamb|kfac> <steps> [--seed N] [--trace-out FILE] [--metrics-out FILE] [--workspace on|off]
 //! pipefisher sweep    <arch> [--json]
 //! ```
 
@@ -44,10 +44,11 @@ USAGE:
         Evaluate the closed-form §3.3 step model for all three schemes.
 
     pipefisher train <lamb|kfac> <steps> [--seed N] [--trace-out FILE]
-                     [--metrics-out FILE]
+                     [--metrics-out FILE] [--workspace on|off]
         Pretrain a tiny BERT on the synthetic language and print the loss
         curve; optionally record wall-clock trace spans and per-step
-        metrics (JSONL).
+        metrics (JSONL). --workspace toggles the buffer-recycling arena
+        (default on; also via PIPEFISHER_WORKSPACE).
 
     pipefisher sweep <arch> [--json]
         (curvature+inversion)/bubble ratio across D, B_micro, and hardware.

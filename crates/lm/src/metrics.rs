@@ -33,6 +33,12 @@ pub struct StepMetrics {
     pub curvature_refreshes: u64,
     /// Cumulative K-FAC factor inversions up to and including this step.
     pub inversions: u64,
+    /// Heap allocation calls during this step. Always `0` unless the binary
+    /// was built with the `alloc-count` feature (which installs the counting
+    /// allocator from `pipefisher-trace`).
+    pub allocs: u64,
+    /// Bytes requested by those allocation calls (`0` without `alloc-count`).
+    pub alloc_bytes: u64,
 }
 
 impl StepMetrics {
@@ -49,6 +55,8 @@ impl StepMetrics {
             "curvature_refreshed": self.curvature_refreshed,
             "curvature_refreshes": self.curvature_refreshes,
             "inversions": self.inversions,
+            "allocs": self.allocs,
+            "alloc_bytes": self.alloc_bytes,
         })
     }
 }
@@ -92,6 +100,7 @@ impl MetricsRecorder {
         timings: PhaseTimings,
         curvature_refreshed: bool,
         inverted: bool,
+        alloc: pipefisher_trace::AllocSnapshot,
     ) {
         self.curvature_refreshes += u64::from(curvature_refreshed);
         self.inversions += u64::from(inverted);
@@ -106,6 +115,8 @@ impl MetricsRecorder {
             curvature_refreshed,
             curvature_refreshes: self.curvature_refreshes,
             inversions: self.inversions,
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.bytes,
         });
     }
 
@@ -130,6 +141,8 @@ mod tests {
             curvature_refreshed: step == 0,
             curvature_refreshes: 1,
             inversions: 1,
+            allocs: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -151,9 +164,10 @@ mod tests {
     fn recorder_accumulates_refresh_counters() {
         let mut rec = MetricsRecorder::default();
         let t = PhaseTimings::default();
-        rec.record(0, 3.0, 1.0, 1e-3, t, true, true);
-        rec.record(1, 2.9, 1.0, 1e-3, t, false, false);
-        rec.record(2, 2.8, 1.0, 1e-3, t, true, false);
+        let a = pipefisher_trace::AllocSnapshot::default();
+        rec.record(0, 3.0, 1.0, 1e-3, t, true, true, a);
+        rec.record(1, 2.9, 1.0, 1e-3, t, false, false, a);
+        rec.record(2, 2.8, 1.0, 1e-3, t, true, false, a);
         let rows = rec.into_rows();
         assert_eq!(rows[2].curvature_refreshes, 2);
         assert_eq!(rows[2].inversions, 1);

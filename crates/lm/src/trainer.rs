@@ -192,6 +192,7 @@ impl Trainer {
         let mut recorder = MetricsRecorder::default();
         for step in 0..steps {
             let _step_span = pipefisher_trace::span("step", "train");
+            let alloc_before = pipefisher_trace::alloc_snapshot();
             model.zero_grad();
             let refresh = opt.refreshes_curvature_at(step);
             let t0 = Instant::now();
@@ -229,6 +230,7 @@ impl Trainer {
                 },
                 refresh,
                 opt.inverts_at(step),
+                pipefisher_trace::alloc_snapshot().since(&alloc_before),
             );
         }
         TrainRun {
@@ -256,6 +258,7 @@ impl Trainer {
             std::collections::VecDeque::new();
         for step in 0..steps {
             let _step_span = pipefisher_trace::span("step", "train");
+            let alloc_before = pipefisher_trace::alloc_snapshot();
             let t0 = Instant::now();
             let batch = {
                 let _span = pipefisher_trace::span("sample", "train");
@@ -304,6 +307,7 @@ impl Trainer {
                 },
                 false,
                 false,
+                pipefisher_trace::alloc_snapshot().since(&alloc_before),
             );
         }
         TrainRun {

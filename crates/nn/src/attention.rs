@@ -17,6 +17,25 @@ struct AttnCache {
     probs: Vec<Matrix>,
 }
 
+/// Per-layer scratch reused across forward/backward passes so the
+/// per-`(batch, head)` loops allocate nothing once warmed up. Every buffer
+/// is fully overwritten before use.
+#[derive(Debug, Clone, Default)]
+struct AttnScratch {
+    qb: Matrix,
+    kb: Matrix,
+    vb: Matrix,
+    dob: Matrix,
+    dp: Matrix,
+    dvb: Matrix,
+    ds: Matrix,
+    dqb: Matrix,
+    dkb: Matrix,
+    /// Recycled storage for the cache's `probs` vector (backward returns
+    /// the emptied vector here; forward withdraws it).
+    probs_pool: Vec<Matrix>,
+}
+
 /// Multi-head self-attention as in BERT (bidirectional, no causal mask).
 ///
 /// The four projections (`q`, `k`, `v`, `o`) are [`Linear`] layers and
@@ -38,6 +57,7 @@ pub struct MultiHeadAttention {
     causal: bool,
     attn_dropout: Dropout,
     cache: Option<AttnCache>,
+    scratch: AttnScratch,
 }
 
 impl MultiHeadAttention {
@@ -69,6 +89,7 @@ impl MultiHeadAttention {
             causal: false,
             attn_dropout: Dropout::new(dropout_p, 0xA77E_0001),
             cache: None,
+            scratch: AttnScratch::default(),
         }
     }
 
@@ -103,14 +124,21 @@ impl MultiHeadAttention {
     }
 
     /// Copies the `(rows b·seq.., cols h·d_head..)` sub-block for one
-    /// `(batch, head)` pair out of a `(batch·seq) × d_model` matrix.
-    fn head_block(m: &Matrix, b: usize, h: usize, seq: usize, d_head: usize) -> Matrix {
-        let mut out = Matrix::zeros(seq, d_head);
+    /// `(batch, head)` pair out of a `(batch·seq) × d_model` matrix into a
+    /// caller-provided (re-dimensioned, fully overwritten) output matrix.
+    fn head_block_into(
+        m: &Matrix,
+        b: usize,
+        h: usize,
+        seq: usize,
+        d_head: usize,
+        out: &mut Matrix,
+    ) {
+        out.reset_shape(seq, d_head);
         for s in 0..seq {
             let src = &m.row(b * seq + s)[h * d_head..(h + 1) * d_head];
             out.row_mut(s).copy_from_slice(src);
         }
-        out
     }
 
     /// Adds `block` into the `(b, h)` sub-block of `m`.
@@ -143,14 +171,19 @@ impl Layer for MultiHeadAttention {
         let k_out = self.k.forward(x, ctx);
         let v_out = self.v.forward(x, ctx);
 
+        let mut scr = std::mem::take(&mut self.scratch);
         let mut concat = Matrix::zeros(x.rows(), self.d_model);
-        let mut probs = Vec::with_capacity(batch * nh);
+        // Reuse the probs vector backward handed back last step.
+        let mut probs = std::mem::take(&mut scr.probs_pool);
+        probs.clear();
+        probs.reserve(batch * nh);
         for b in 0..batch {
             for h in 0..nh {
-                let qb = Self::head_block(&q_out, b, h, seq, dh);
-                let kb = Self::head_block(&k_out, b, h, seq, dh);
-                let vb = Self::head_block(&v_out, b, h, seq, dh);
-                let mut scores = qb.matmul_nt(&kb);
+                Self::head_block_into(&q_out, b, h, seq, dh, &mut scr.qb);
+                Self::head_block_into(&k_out, b, h, seq, dh, &mut scr.kb);
+                Self::head_block_into(&v_out, b, h, seq, dh, &mut scr.vb);
+                let (qb, kb, vb) = (&scr.qb, &scr.kb, &scr.vb);
+                let mut scores = qb.matmul_nt(kb);
                 scores.scale_inplace(scale);
                 if self.causal {
                     for r in 0..seq {
@@ -162,11 +195,12 @@ impl Layer for MultiHeadAttention {
                 }
                 softmax_inplace(&mut scores);
                 let scores = self.attn_dropout.forward(&scores, ctx);
-                let ob = scores.matmul(&vb);
+                let ob = scores.matmul(vb);
                 Self::add_head_block(&mut concat, &ob, b, h, seq, dh);
                 probs.push(scores);
             }
         }
+        self.scratch = scr;
         self.cache = Some(AttnCache {
             batch,
             seq,
@@ -189,12 +223,13 @@ impl Layer for MultiHeadAttention {
             q_out,
             k_out,
             v_out,
-            probs,
+            mut probs,
         } = cache;
         let (dh, nh) = (self.d_head, self.n_heads);
         let scale = 1.0 / (dh as f64).sqrt();
 
         let dconcat = self.o.backward(dout);
+        let mut scr = std::mem::take(&mut self.scratch);
         let mut dq_full = Matrix::zeros(dconcat.rows(), self.d_model);
         let mut dk_full = Matrix::zeros(dconcat.rows(), self.d_model);
         let mut dv_full = Matrix::zeros(dconcat.rows(), self.d_model);
@@ -202,14 +237,26 @@ impl Layer for MultiHeadAttention {
         for b in 0..batch {
             for h in 0..nh {
                 let p = &probs[b * nh + h];
-                let dob = Self::head_block(&dconcat, b, h, seq, dh);
-                let qb = Self::head_block(&q_out, b, h, seq, dh);
-                let kb = Self::head_block(&k_out, b, h, seq, dh);
-                let vb = Self::head_block(&v_out, b, h, seq, dh);
+                Self::head_block_into(&dconcat, b, h, seq, dh, &mut scr.dob);
+                Self::head_block_into(&q_out, b, h, seq, dh, &mut scr.qb);
+                Self::head_block_into(&k_out, b, h, seq, dh, &mut scr.kb);
+                Self::head_block_into(&v_out, b, h, seq, dh, &mut scr.vb);
+                let AttnScratch {
+                    qb,
+                    kb,
+                    vb,
+                    dob,
+                    dp,
+                    dvb,
+                    ds,
+                    dqb,
+                    dkb,
+                    ..
+                } = &mut scr;
 
                 // O = P·V  ⇒  dP = dO·Vᵀ, dV = Pᵀ·dO.
-                let dp = dob.matmul_nt(&vb);
-                let dvb = p.matmul_tn(&dob);
+                dob.matmul_nt_into(vb, dp);
+                p.matmul_tn_into(dob, dvb);
                 // Softmax backward row-wise: dS = P ⊙ (dP − rowdot(dP, P)).
                 // Dropout on P is folded in because `probs` stores the
                 // post-dropout values: dropped entries have P=0 so their dS
@@ -220,7 +267,7 @@ impl Layer for MultiHeadAttention {
                 // dropout is disabled; training with attention dropout in
                 // this reproduction uses p = 0 on the scores path (BERT's
                 // hidden-state dropout is kept), so backward is exact.
-                let mut ds = Matrix::zeros(seq, seq);
+                ds.reset_shape(seq, seq);
                 for r in 0..seq {
                     let prow = p.row(r);
                     let dprow = dp.row(r);
@@ -232,14 +279,19 @@ impl Layer for MultiHeadAttention {
                 }
                 ds.scale_inplace(scale);
                 // S = scale·Q·Kᵀ ⇒ dQ = dS·K, dK = dSᵀ·Q.
-                let dqb = ds.matmul(&kb);
-                let dkb = ds.matmul_tn(&qb);
+                ds.matmul_into(kb, dqb);
+                ds.matmul_tn_into(qb, dkb);
 
-                Self::add_head_block(&mut dq_full, &dqb, b, h, seq, dh);
-                Self::add_head_block(&mut dk_full, &dkb, b, h, seq, dh);
-                Self::add_head_block(&mut dv_full, &dvb, b, h, seq, dh);
+                Self::add_head_block(&mut dq_full, dqb, b, h, seq, dh);
+                Self::add_head_block(&mut dk_full, dkb, b, h, seq, dh);
+                Self::add_head_block(&mut dv_full, dvb, b, h, seq, dh);
             }
         }
+        // Hand the emptied probs vector back to the scratch so the next
+        // forward reuses its storage.
+        probs.clear();
+        scr.probs_pool = probs;
+        self.scratch = scr;
 
         let mut dx = self.q.backward(&dq_full);
         dx += &self.k.backward(&dk_full);

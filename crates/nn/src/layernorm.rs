@@ -15,6 +15,8 @@ pub struct LayerNorm {
     eps: f64,
     /// Cached normalized input `x̂` and per-row inverse std for backward.
     cache: Option<(Matrix, Vec<f64>)>,
+    /// Scratch rows (`dγ`, `dβ`, `dx̂`) reused across backward passes.
+    grad_scratch: (Matrix, Matrix, Matrix),
 }
 
 impl LayerNorm {
@@ -26,6 +28,7 @@ impl LayerNorm {
             bias: Parameter::new(format!("{name}.bias"), Matrix::zeros(1, dim)),
             eps: 1e-12,
             cache: None,
+            grad_scratch: Default::default(),
         }
     }
 
@@ -39,10 +42,13 @@ impl Layer for LayerNorm {
     fn forward(&mut self, x: &Matrix, _ctx: &ForwardCtx) -> Matrix {
         assert_eq!(x.cols(), self.dim(), "LayerNorm: input dim");
         let (n, d) = x.shape();
-        let mut xhat = Matrix::zeros(n, d);
-        let mut inv_std = Vec::with_capacity(n);
-        let gamma = self.gain.value.row(0).to_vec();
-        let beta = self.bias.value.row(0).to_vec();
+        // Reuse last pass's cache buffers; both are fully overwritten.
+        let (mut xhat, mut inv_std) = self.cache.take().unwrap_or_default();
+        xhat.reset_shape(n, d);
+        inv_std.clear();
+        inv_std.reserve(n);
+        let gamma = self.gain.value.row(0);
+        let beta = self.bias.value.row(0);
         let mut out = Matrix::zeros(n, d);
         for r in 0..n {
             let row = x.row(r);
@@ -69,15 +75,27 @@ impl Layer for LayerNorm {
             .expect("LayerNorm::backward before forward");
         let (n, d) = xhat.shape();
         assert_eq!(dout.shape(), (n, d), "LayerNorm: dout shape");
-        let gamma = self.gain.value.row(0).to_vec();
-        let mut dgamma = vec![0.0; d];
-        let mut dbeta = vec![0.0; d];
+        let gamma = self.gain.value.row(0);
+        // Per-layer scratch rows: dγ/dβ accumulate across rows, dx̂ is
+        // fully rewritten per row (hoisted out of the row loop so the hot
+        // path allocates nothing).
+        let (dgamma_m, dbeta_m, dxhat_m) = &mut self.grad_scratch;
+        dgamma_m.reset_shape(1, d);
+        dbeta_m.reset_shape(1, d);
+        dxhat_m.reset_shape(1, d);
+        let dgamma = dgamma_m.as_mut_slice();
+        let dbeta = dbeta_m.as_mut_slice();
+        let dxhat = dxhat_m.as_mut_slice();
+        dgamma.fill(0.0);
+        dbeta.fill(0.0);
         let mut dx = Matrix::zeros(n, d);
         for (r, &istd) in inv_std.iter().enumerate() {
             let xh = xhat.row(r);
             let dy = dout.row(r);
             // dŷ projected through γ.
-            let dxhat: Vec<f64> = (0..d).map(|c| dy[c] * gamma[c]).collect();
+            for c in 0..d {
+                dxhat[c] = dy[c] * gamma[c];
+            }
             let sum_dxhat: f64 = dxhat.iter().sum();
             let sum_dxhat_xhat: f64 = dxhat.iter().zip(xh.iter()).map(|(&a, &b)| a * b).sum();
             let dxr = dx.row_mut(r);
@@ -88,8 +106,8 @@ impl Layer for LayerNorm {
                     istd / d as f64 * (d as f64 * dxhat[c] - sum_dxhat - xh[c] * sum_dxhat_xhat);
             }
         }
-        self.gain.accumulate_grad(&Matrix::from_vec(1, d, dgamma));
-        self.bias.accumulate_grad(&Matrix::from_vec(1, d, dbeta));
+        self.gain.accumulate_grad(&self.grad_scratch.0);
+        self.bias.accumulate_grad(&self.grad_scratch.1);
         dx
     }
 

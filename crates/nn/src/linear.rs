@@ -1,7 +1,7 @@
 //! Fully-connected layer with K-FAC statistics capture.
 
 use crate::{ForwardCtx, Layer, ParamVisitor, Parameter};
-use pipefisher_tensor::{col_sum, init, Matrix};
+use pipefisher_tensor::{col_sum_into, init, Matrix};
 use rand::Rng;
 
 /// Per-mini-batch K-FAC statistics captured by a [`Linear`] layer.
@@ -59,6 +59,10 @@ pub struct Linear {
     /// Layers excluded from K-FAC (e.g. the vocab-sized LM head, paper §4)
     /// never capture statistics even when the context asks for it.
     kfac_enabled: bool,
+    /// Scratch for `dW = xᵀ·dout`, reused across backward passes.
+    dw_scratch: Matrix,
+    /// Scratch for `db` column sums, reused across backward passes.
+    db_scratch: Matrix,
 }
 
 impl Linear {
@@ -75,6 +79,8 @@ impl Linear {
             input: None,
             stats: KfacBatchStats::default(),
             kfac_enabled: true,
+            dw_scratch: Matrix::default(),
+            db_scratch: Matrix::default(),
         }
     }
 
@@ -91,6 +97,8 @@ impl Linear {
             input: None,
             stats: KfacBatchStats::default(),
             kfac_enabled: true,
+            dw_scratch: Matrix::default(),
+            db_scratch: Matrix::default(),
         }
     }
 
@@ -167,7 +175,9 @@ impl Linear {
 
     fn capture_activations(&mut self, x: &Matrix) {
         let (n, d) = x.shape();
-        let mut aug = Matrix::zeros(n, d + 1);
+        // Reuse last step's capture buffer; every element is overwritten.
+        let mut aug = self.stats.activations.take().unwrap_or_default();
+        aug.reset_shape(n, d + 1);
         for r in 0..n {
             let dst = aug.row_mut(r);
             dst[..d].copy_from_slice(x.row(r));
@@ -183,7 +193,10 @@ impl Layer for Linear {
         if ctx.capture_kfac && self.kfac_enabled {
             self.capture_activations(x);
         }
-        self.input = Some(x.clone());
+        match &mut self.input {
+            Some(buf) => buf.clone_from(x),
+            None => self.input = Some(x.clone()),
+        }
         let mut y = x.matmul(&self.weight.value);
         y.add_row_broadcast(self.bias.value.row(0));
         y
@@ -201,13 +214,18 @@ impl Layer for Linear {
             self.name()
         );
         if self.kfac_enabled && self.stats.activations.is_some() {
-            self.stats.errors = Some(dout.clone());
+            match &mut self.stats.errors {
+                Some(buf) => buf.clone_from(dout),
+                None => self.stats.errors = Some(dout.clone()),
+            }
         }
-        // dW = xᵀ·dout, db = column sums, dx = dout·Wᵀ.
-        let dw = x.matmul_tn(dout);
-        self.weight.accumulate_grad(&dw);
-        let db = Matrix::from_vec(1, self.d_out(), col_sum(dout));
-        self.bias.accumulate_grad(&db);
+        // dW = xᵀ·dout, db = column sums, dx = dout·Wᵀ — the dW/db
+        // products land in per-layer scratch reused across micro-batches.
+        x.matmul_tn_into(dout, &mut self.dw_scratch);
+        self.weight.accumulate_grad(&self.dw_scratch);
+        self.db_scratch.reset_shape(1, self.d_out());
+        col_sum_into(dout, self.db_scratch.as_mut_slice());
+        self.bias.accumulate_grad(&self.db_scratch);
         dout.matmul_nt(&self.weight.value)
     }
 

@@ -19,6 +19,8 @@ pub struct Adam {
     weight_decay: f64,
     t: u64,
     moments: HashMap<String, (Matrix, Matrix)>,
+    /// Scratch for the step direction, reused across parameters.
+    dir: Matrix,
 }
 
 impl Adam {
@@ -31,6 +33,7 @@ impl Adam {
             weight_decay,
             t: 0,
             moments: HashMap::new(),
+            dir: Matrix::default(),
         }
     }
 
@@ -39,26 +42,44 @@ impl Adam {
         self.t
     }
 
-    /// Computes the bias-corrected Adam direction for one parameter without
-    /// applying it (shared with [`crate::Lamb`]).
-    pub(crate) fn direction(&mut self, p: &Parameter) -> Matrix {
-        let (m, v) = self.moments.entry(p.name.clone()).or_insert_with(|| {
-            (
-                Matrix::zeros(p.value.rows(), p.value.cols()),
-                Matrix::zeros(p.value.rows(), p.value.cols()),
-            )
-        });
-        m.scale_inplace(self.beta1);
-        m.axpy(1.0 - self.beta1, &p.grad);
-        let g2 = p.grad.hadamard(&p.grad);
-        v.scale_inplace(self.beta2);
-        v.axpy(1.0 - self.beta2, &g2);
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+    /// Computes the bias-corrected Adam direction for one parameter into
+    /// `out` without applying it (shared with [`crate::Lamb`]). The moment
+    /// matrices update in place; one fused loop performs the same
+    /// per-element operation sequence as the original scale/axpy/hadamard
+    /// passes, so results are bitwise identical.
+    pub(crate) fn direction_into(&mut self, p: &Parameter, out: &mut Matrix) {
+        if !self.moments.contains_key(&p.name) {
+            // First visit only: steady-state steps never clone the name.
+            self.moments.insert(
+                p.name.clone(),
+                (
+                    Matrix::zeros(p.value.rows(), p.value.cols()),
+                    Matrix::zeros(p.value.rows(), p.value.cols()),
+                ),
+            );
+        }
+        let (m, v) = self
+            .moments
+            .get_mut(&p.name)
+            .expect("moments just inserted");
+        let (b1, b2) = (self.beta1, self.beta2);
+        let (c1, c2) = (1.0 - b1, 1.0 - b2);
+        let s1 = 1.0 / (1.0 - b1.powi(self.t as i32));
+        let s2 = 1.0 / (1.0 - b2.powi(self.t as i32));
         let eps = self.eps;
-        let mhat = m.scale(1.0 / bc1);
-        let vhat = v.scale(1.0 / bc2);
-        mhat.zip_with(&vhat, |mv, vv| mv / (vv.sqrt() + eps))
+        out.reset_shape(p.value.rows(), p.value.cols());
+        let g = p.grad.as_slice();
+        let ms = m.as_mut_slice();
+        let vs = v.as_mut_slice();
+        let os = out.as_mut_slice();
+        for i in 0..g.len() {
+            let gi = g[i];
+            ms[i] = ms[i] * b1 + c1 * gi;
+            vs[i] = vs[i] * b2 + c2 * (gi * gi);
+            let mhat = ms[i] * s1;
+            let vhat = vs[i] * s2;
+            os[i] = mhat / (vhat.sqrt() + eps);
+        }
     }
 }
 
@@ -78,11 +99,13 @@ impl Optimizer for Adam {
             self.t > 0,
             "Adam: begin_step must be called before step_param"
         );
-        let mut dir = self.direction(p);
+        let mut dir = std::mem::take(&mut self.dir);
+        self.direction_into(p, &mut dir);
         if self.weight_decay > 0.0 {
             dir.axpy(self.weight_decay, &p.value);
         }
         p.value.axpy(-lr, &dir);
+        self.dir = dir;
     }
 }
 

@@ -20,7 +20,7 @@
 
 use crate::Optimizer;
 use pipefisher_nn::{Linear, ParamVisitor, Parameter};
-use pipefisher_tensor::{cholesky_inverse, par, Matrix};
+use pipefisher_tensor::{cholesky_inverse_into, par, Matrix};
 use std::collections::HashMap;
 
 /// Hyperparameters for [`Kfac`].
@@ -79,6 +79,32 @@ fn block_diagonal_mask(m: &mut Matrix, block_size: usize) {
     }
 }
 
+/// Reusable per-layer working buffers for [`Kfac::step`]. Each buffer is
+/// re-dimensioned and fully overwritten before use; keeping them in the
+/// per-layer state means curvature refreshes, inversions, and the
+/// per-step preconditioning products all run without heap allocation once
+/// the first step has sized them.
+#[derive(Debug, Clone, Default)]
+pub struct KfacScratch {
+    /// Batch Gram matrix (`A` then `B`) during a curvature refresh.
+    batch: Matrix,
+    /// Damped copy of `factor_a` fed to the Cholesky inversion.
+    damped_a: Matrix,
+    /// Damped copy of `factor_b` fed to the Cholesky inversion.
+    damped_b: Matrix,
+    /// Staging buffer for the freshly computed `A⁻¹` (swapped into
+    /// `inv_a` only if *both* inversions succeed).
+    ia: Matrix,
+    /// Staging buffer for the freshly computed `B⁻¹`.
+    ib: Matrix,
+    /// Combined `d_out × (d_in+1)` weight/bias gradient `Ḡ`.
+    gbar: Matrix,
+    /// Intermediate `B⁻¹·Ḡ` product.
+    tmp: Matrix,
+    /// Preconditioned gradient `B⁻¹·Ḡ·A⁻¹`.
+    pre: Matrix,
+}
+
 /// Per-layer K-FAC state: factors, inverses, and staleness bookkeeping.
 #[derive(Debug, Clone, Default)]
 pub struct LayerKfacState {
@@ -94,6 +120,8 @@ pub struct LayerKfacState {
     pub last_curvature_step: u64,
     /// Step at which the inverses were last refreshed.
     pub last_inversion_step: u64,
+    /// Reusable working buffers (see [`KfacScratch`]).
+    pub scratch: KfacScratch,
 }
 
 impl LayerKfacState {
@@ -225,7 +253,12 @@ impl<O: Optimizer> Kfac<O> {
         let states = &mut self.states;
         let mut slots: Vec<LayerSlot> = Vec::new();
         model.visit_kfac_linears(&mut |lin: &mut Linear| {
-            let state = states.remove(lin.name()).unwrap_or_default();
+            // `take` instead of `remove` so steady-state steps never
+            // re-allocate the name key; the entry is written back below.
+            if !states.contains_key(lin.name()) {
+                states.insert(lin.name().to_string(), LayerKfacState::default());
+            }
+            let state = std::mem::take(states.get_mut(lin.name()).expect("state just inserted"));
             slots.push(LayerSlot {
                 lin: LinPtr(lin as *mut Linear),
                 state,
@@ -265,7 +298,7 @@ impl<O: Optimizer> Kfac<O> {
                         );
                     }
                     if slot.state.ready() {
-                        slot.vdot = precondition(&slot.state, lin);
+                        slot.vdot = precondition(&mut slot.state, lin);
                     }
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -298,12 +331,9 @@ impl<O: Optimizer> Kfac<O> {
 
         // Hand the states back before touching `model` again.
         for slot in slots {
-            let name = {
-                // SAFETY: tasks have joined; this is the only live alias.
-                let lin = unsafe { &*slot.lin.0 };
-                lin.name().to_string()
-            };
-            states.insert(name, slot.state);
+            // SAFETY: tasks have joined; this is the only live alias.
+            let lin = unsafe { &*slot.lin.0 };
+            *states.get_mut(lin.name()).expect("state entry exists") = slot.state;
         }
 
         // Phase 4: fallback update over all parameters.
@@ -341,23 +371,25 @@ fn update_curvature(state: &mut LayerKfacState, lin: &mut Linear, ema_decay: f64
     // restores the ⟨e eᵀ⟩ scale of the sum-loss errors the paper defines.
     // (Any fixed rescaling is absorbed into damping/lr; we pick the
     // convention used by KAISA and kfac-pytorch.)
-    let mut a_batch = acts.gram();
-    a_batch.scale_inplace(1.0 / n);
-    let mut b_batch = errs.gram();
-    b_batch.scale_inplace(n);
-
-    let fold = |old: &mut Option<Matrix>, batch: Matrix| {
-        *old = Some(match old.take() {
-            Some(mut prev) if ema_decay > 0.0 => {
-                prev.scale_inplace(ema_decay);
-                prev.axpy(1.0 - ema_decay, &batch);
-                prev
-            }
-            _ => batch,
-        });
+    //
+    // Both Gram products land in the shared `batch` scratch and are folded
+    // into the factors by copy, so a refresh allocates nothing once the
+    // buffers exist.
+    let fold = |old: &mut Option<Matrix>, batch: &Matrix| match old {
+        Some(prev) if ema_decay > 0.0 => {
+            prev.scale_inplace(ema_decay);
+            prev.axpy(1.0 - ema_decay, batch);
+        }
+        Some(prev) => prev.clone_from(batch),
+        None => *old = Some(batch.clone()),
     };
-    fold(&mut state.factor_a, a_batch);
-    fold(&mut state.factor_b, b_batch);
+    let batch = &mut state.scratch.batch;
+    acts.gram_into(batch);
+    batch.scale_inplace(1.0 / n);
+    fold(&mut state.factor_a, batch);
+    errs.gram_into(batch);
+    batch.scale_inplace(n);
+    fold(&mut state.factor_b, batch);
     state.last_curvature_step = t;
 }
 
@@ -375,27 +407,44 @@ fn update_inverses(state: &mut LayerKfacState, damping: f64, block_size: Option<
     let lam_a = damping * pi;
     let lam_b = damping / pi;
 
-    let mut da = fa.clone();
-    let mut db = fb.clone();
+    // Damped copies and inverse staging live in the per-layer scratch; the
+    // fresh inverses are swapped into place only if *both* factorizations
+    // succeed, preserving the partial-failure semantics of the allocating
+    // version.
+    let KfacScratch {
+        damped_a: da,
+        damped_b: db,
+        ia,
+        ib,
+        ..
+    } = &mut state.scratch;
+    da.clone_from(fa);
+    db.clone_from(fb);
     if let Some(bs) = block_size {
-        block_diagonal_mask(&mut da, bs);
-        block_diagonal_mask(&mut db, bs);
+        block_diagonal_mask(da, bs);
+        block_diagonal_mask(db, bs);
     }
     da.add_diag(lam_a.max(1e-12));
     db.add_diag(lam_b.max(1e-12));
     // Damped Gram matrices are SPD by construction; escalate damping on the
     // (numerically pathological) failure path rather than crash training.
-    let inv_a = cholesky_inverse(&da).or_else(|_| {
+    let inv_a = cholesky_inverse_into(da, ia).or_else(|_| {
         da.add_diag(damping * 10.0);
-        cholesky_inverse(&da)
+        cholesky_inverse_into(da, ia)
     });
-    let inv_b = cholesky_inverse(&db).or_else(|_| {
+    let inv_b = cholesky_inverse_into(db, ib).or_else(|_| {
         db.add_diag(damping * 10.0);
-        cholesky_inverse(&db)
+        cholesky_inverse_into(db, ib)
     });
-    if let (Ok(ia), Ok(ib)) = (inv_a, inv_b) {
-        state.inv_a = Some(ia);
-        state.inv_b = Some(ib);
+    if let (Ok(()), Ok(())) = (inv_a, inv_b) {
+        match &mut state.inv_a {
+            Some(m) => std::mem::swap(m, ia),
+            None => state.inv_a = Some(std::mem::take(ia)),
+        }
+        match &mut state.inv_b {
+            Some(m) => std::mem::swap(m, ib),
+            None => state.inv_b = Some(std::mem::take(ib)),
+        }
         state.last_inversion_step = t;
     }
 }
@@ -405,12 +454,16 @@ fn update_inverses(state: &mut LayerKfacState, damping: f64, block_size: Option<
 /// `Ḡ` is the `d_out × (d_in+1)` combined weight/bias gradient in the
 /// paper's orientation (outputs × augmented inputs); our storage keeps the
 /// weight `d_in × d_out`, so we transpose on the way in and out.
-fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
+fn precondition(state: &mut LayerKfacState, lin: &mut Linear) -> f64 {
     let d_in = lin.d_in();
     let d_out = lin.d_out();
     let (w, b, _) = lin.kfac_parts_mut();
 
-    let mut gbar = Matrix::zeros(d_out, d_in + 1);
+    // Ḡ assembly and both GEMMs reuse the per-layer scratch (every entry
+    // is overwritten), so the every-step precondition path allocates
+    // nothing once warmed up.
+    let KfacScratch { gbar, tmp, pre, .. } = &mut state.scratch;
+    gbar.reset_shape(d_out, d_in + 1);
     for o in 0..d_out {
         let row = gbar.row_mut(o);
         for (i, slot) in row[..d_in].iter_mut().enumerate() {
@@ -421,8 +474,9 @@ fn precondition(state: &LayerKfacState, lin: &mut Linear) -> f64 {
 
     let inv_a = state.inv_a.as_ref().expect("precondition: inv_a");
     let inv_b = state.inv_b.as_ref().expect("precondition: inv_b");
-    let pre = inv_b.matmul(&gbar).matmul(inv_a);
-    let dot = gbar.dot(&pre);
+    inv_b.matmul_into(gbar, tmp);
+    tmp.matmul_into(inv_a, pre);
+    let dot = gbar.dot(pre);
 
     for o in 0..d_out {
         let row = pre.row(o);
@@ -439,7 +493,7 @@ mod tests {
     use super::*;
     use crate::Sgd;
     use pipefisher_nn::{cross_entropy_backward, cross_entropy_loss, ForwardCtx, Layer};
-    use pipefisher_tensor::init;
+    use pipefisher_tensor::{cholesky_inverse, init};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -507,12 +561,12 @@ mod tests {
         let orig_w = lin.weight().grad.clone();
         let orig_b = lin.bias().grad.clone();
 
-        let state = LayerKfacState {
+        let mut state = LayerKfacState {
             inv_a: Some(Matrix::eye(4)),
             inv_b: Some(Matrix::eye(2)),
             ..Default::default()
         };
-        let _ = precondition(&state, &mut lin);
+        let _ = precondition(&mut state, &mut lin);
         assert!((&lin.weight().grad - &orig_w).max_abs() < 1e-12);
         assert!((&lin.bias().grad - &orig_b).max_abs() < 1e-12);
     }
@@ -523,12 +577,12 @@ mod tests {
         let mut lin = Linear::new("fc", 3, 2, &mut rng);
         lin.weight_mut().grad = Matrix::full(3, 2, 4.0);
         lin.bias_mut().grad = Matrix::full(1, 2, 4.0);
-        let state = LayerKfacState {
+        let mut state = LayerKfacState {
             inv_a: Some(Matrix::eye(4).scale(0.5)),
             inv_b: Some(Matrix::eye(2).scale(0.5)),
             ..Default::default()
         };
-        let _ = precondition(&state, &mut lin);
+        let _ = precondition(&mut state, &mut lin);
         assert!((lin.weight().grad[(0, 0)] - 1.0).abs() < 1e-12);
         assert!((lin.bias().grad[(0, 1)] - 1.0).abs() < 1e-12);
     }

@@ -16,6 +16,8 @@ pub struct Lamb {
     inner: Adam,
     weight_decay: f64,
     max_trust_ratio: f64,
+    /// Scratch for the per-parameter update, reused across parameters.
+    update: pipefisher_tensor::Matrix,
 }
 
 impl Lamb {
@@ -25,6 +27,7 @@ impl Lamb {
             inner: Adam::new(0.9, 0.999, 1e-6, 0.0),
             weight_decay,
             max_trust_ratio: 10.0,
+            update: pipefisher_tensor::Matrix::default(),
         }
     }
 
@@ -60,12 +63,14 @@ impl Optimizer for Lamb {
             self.inner.step_count() > 0,
             "Lamb: begin_step must be called before step_param"
         );
-        let mut update = self.inner.direction(p);
+        let mut update = std::mem::take(&mut self.update);
+        self.inner.direction_into(p, &mut update);
         if self.weight_decay > 0.0 {
             update.axpy(self.weight_decay, &p.value);
         }
         let ratio = self.trust_ratio(p.value.frobenius_norm(), update.frobenius_norm());
         p.value.axpy(-lr * ratio, &update);
+        self.update = update;
     }
 }
 

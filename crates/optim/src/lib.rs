@@ -37,7 +37,7 @@ mod sgd;
 mod shampoo;
 
 pub use adam::Adam;
-pub use kfac::{Kfac, KfacConfig, KfacModel, LayerKfacState};
+pub use kfac::{Kfac, KfacConfig, KfacModel, KfacScratch, LayerKfacState};
 pub use lamb::Lamb;
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;

@@ -39,22 +39,46 @@ impl Optimizer for Sgd {
     fn begin_step(&mut self) {}
 
     fn step_param(&mut self, p: &mut Parameter, lr: f64) {
-        let update = if self.momentum > 0.0 {
+        let (wd, mu) = (self.weight_decay, self.momentum);
+        if mu > 0.0 {
+            if !self.velocity.contains_key(&p.name) {
+                // First visit only: steady-state steps never clone the name.
+                self.velocity.insert(
+                    p.name.clone(),
+                    Matrix::zeros(p.value.rows(), p.value.cols()),
+                );
+            }
             let v = self
                 .velocity
-                .entry(p.name.clone())
-                .or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
-            v.scale_inplace(self.momentum);
-            v.axpy(1.0, &p.grad);
-            v.clone()
+                .get_mut(&p.name)
+                .expect("velocity just inserted");
+            // v ← μ·v + g, fused into one pass (bitwise identical to the
+            // scale_inplace + axpy pair).
+            for (vi, &gi) in v.as_mut_slice().iter_mut().zip(p.grad.as_slice().iter()) {
+                *vi = *vi * mu + gi;
+            }
+            apply_step(&mut p.value, v, wd, lr);
         } else {
-            p.grad.clone()
-        };
-        let mut step = update;
-        if self.weight_decay > 0.0 {
-            step.axpy(self.weight_decay, &p.value);
+            apply_step(&mut p.value, &p.grad, wd, lr);
         }
-        p.value.axpy(-lr, &step);
+    }
+}
+
+/// `θ ← θ − lr·(base + wd·θ)` elementwise, without materializing the step.
+/// Matches the original clone + axpy sequence bitwise: when `wd == 0` the
+/// decay term is skipped entirely (adding `0.0` would flip `-0.0` signs).
+fn apply_step(value: &mut Matrix, base: &Matrix, wd: f64, lr: f64) {
+    let t = value.as_mut_slice();
+    let b = base.as_slice();
+    if wd > 0.0 {
+        for (ti, &bi) in t.iter_mut().zip(b.iter()) {
+            let step = bi + wd * *ti;
+            *ti += -lr * step;
+        }
+    } else {
+        for (ti, &bi) in t.iter_mut().zip(b.iter()) {
+            *ti += -lr * bi;
+        }
     }
 }
 

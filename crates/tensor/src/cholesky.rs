@@ -36,10 +36,29 @@ pub type CholeskyError = TensorError;
 /// # }
 /// ```
 pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
+    let mut l = Matrix::zeros(a.rows(), a.rows());
+    cholesky_into(a, &mut l)?;
+    Ok(l)
+}
+
+/// Computes the lower-triangular Cholesky factor into `out`, which is
+/// re-dimensioned to `a.rows() × a.rows()` and fully overwritten. Bitwise
+/// identical to [`cholesky`]. On error, `out`'s contents are unspecified.
+///
+/// # Errors
+///
+/// Same contract as [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky_into(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
     assert!(a.is_square(), "cholesky: matrix must be square");
     let n = a.rows();
     let src = a.as_slice();
-    let mut l = vec![0.0; n * n];
+    out.reset_shape(n, n);
+    let l = out.as_mut_slice();
+    l.fill(0.0);
     for j in 0..n {
         // Diagonal entry.
         let mut d = src[j * n + j];
@@ -63,7 +82,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
             l[i * n + j] = s / dj;
         }
     }
-    Ok(Matrix::from_vec(n, n, l))
+    Ok(())
 }
 
 /// Solves `a · x = b` for one or more right-hand sides given SPD `a`,
@@ -107,20 +126,55 @@ pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Result<Matrix, CholeskyError> {
 /// # }
 /// ```
 pub fn cholesky_inverse(a: &Matrix) -> Result<Matrix, CholeskyError> {
-    let l = cholesky(a)?;
-    let n = a.rows();
-    let mut inv = solve_with_factor(&l, &Matrix::eye(n));
-    inv.symmetrize();
+    let mut inv = Matrix::zeros(a.rows(), a.rows());
+    cholesky_inverse_into(a, &mut inv)?;
     Ok(inv)
+}
+
+/// Computes the inverse of an SPD matrix into `out`, which is
+/// re-dimensioned to `a.rows() × a.rows()` and fully overwritten. Bitwise
+/// identical to [`cholesky_inverse`]; the Cholesky factor lives in a
+/// recycled scratch matrix so steady-state refreshes allocate nothing.
+/// On error, `out`'s contents are unspecified.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky_inverse_into(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    cholesky_into(a, &mut l)?;
+    // Seed `out` with the identity in place, then solve L·Lᵀ·X = I.
+    out.reset_shape(n, n);
+    out.as_mut_slice().fill(0.0);
+    for i in 0..n {
+        out[(i, i)] = 1.0;
+    }
+    solve_with_factor_in_place(&l, out);
+    out.symmetrize();
+    Ok(())
 }
 
 /// Solves `L·Lᵀ·x = b` given the lower Cholesky factor `L`.
 fn solve_with_factor(l: &Matrix, b: &Matrix) -> Matrix {
+    let mut x = b.clone();
+    solve_with_factor_in_place(l, &mut x);
+    x
+}
+
+/// Solves `L·Lᵀ·x = b` in place: `x` holds `b` on entry and the solution
+/// on exit. Loop order matches the original out-of-place solve exactly,
+/// so results are bitwise identical.
+fn solve_with_factor_in_place(l: &Matrix, x: &mut Matrix) {
     let n = l.rows();
-    assert_eq!(b.rows(), n, "solve_with_factor: rhs rows");
-    let m = b.cols();
+    assert_eq!(x.rows(), n, "solve_with_factor: rhs rows");
+    let m = x.cols();
     let lf = l.as_slice();
-    let mut x = b.clone().into_vec();
+    let x = x.as_mut_slice();
     // Forward substitution: L·y = b.
     for i in 0..n {
         let lii = lf[i * n + i];
@@ -143,7 +197,6 @@ fn solve_with_factor(l: &Matrix, b: &Matrix) -> Matrix {
             x[i * m + c] = s / lii;
         }
     }
-    Matrix::from_vec(n, m, x)
 }
 
 #[cfg(test)]

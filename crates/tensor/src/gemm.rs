@@ -13,6 +13,13 @@
 //! within a small factor of BLAS for the model sizes trained here and makes
 //! the whole stack dependency-free.
 //!
+//! Every kernel exists in two forms: an `_into` variant that writes into a
+//! caller-provided output (re-dimensioning it via
+//! [`Matrix::reset_shape`], so a recycled scratch buffer of the right
+//! length incurs zero allocation), and an allocating wrapper that checks
+//! out a fresh matrix from the [`crate::workspace`] arena and delegates.
+//! Both produce bitwise-identical results.
+//!
 //! # Threading
 //!
 //! Each kernel partitions its **output rows** into disjoint contiguous
@@ -45,6 +52,19 @@ impl Matrix {
     /// assert_eq!(a.matmul(&b)[(0, 0)], 11.0);
     /// ```
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Computes `self · rhs` into `out`, which is re-dimensioned to
+    /// `self.rows() × rhs.cols()` and fully overwritten. Bitwise identical
+    /// to [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             rhs.rows(),
@@ -56,14 +76,17 @@ impl Matrix {
         );
         let (m, k) = self.shape();
         let n = rhs.cols();
-        let mut out = Matrix::zeros(m, n);
+        out.reset_shape(m, n);
+        out.as_mut_slice().fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
         let a = self.as_slice();
         let b = rhs.as_slice();
         par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n.max(1);
+            let rows = chunk.len() / n;
             gemm_nn(&a[start * k..(start + rows) * k], b, chunk, rows, k, n);
         });
-        out
     }
 
     /// Computes `selfᵀ · rhs` without materializing the transpose.
@@ -72,6 +95,19 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), rhs.cols());
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// Computes `selfᵀ · rhs` into `out`, which is re-dimensioned to
+    /// `self.cols() × rhs.cols()` and fully overwritten. Bitwise identical
+    /// to [`Matrix::matmul_tn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             rhs.rows(),
@@ -83,14 +119,18 @@ impl Matrix {
         );
         let (k, m) = self.shape();
         let n = rhs.cols();
-        let mut out = Matrix::zeros(m, n);
+        out.reset_shape(m, n);
+        out.as_mut_slice().fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
         // (AᵀB)[i][j] = Σ_p A[p][i]·B[p][j]; p is the outer loop so both
         // operands stream row-major. Output rows i are chunked across
         // lanes; every element still accumulates over p ascending.
         let a = self.as_slice();
         let b = rhs.as_slice();
         par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n.max(1);
+            let rows = chunk.len() / n;
             for p in 0..k {
                 let arow = &a[p * m + start..p * m + start + rows];
                 let brow = &b[p * n..(p + 1) * n];
@@ -102,7 +142,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Computes `self · rhsᵀ` without materializing the transpose.
@@ -111,6 +150,19 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), rhs.rows());
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// Computes `self · rhsᵀ` into `out`, which is re-dimensioned to
+    /// `self.rows() × rhs.rows()` and fully overwritten. Bitwise identical
+    /// to [`Matrix::matmul_nt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             rhs.cols(),
@@ -122,11 +174,15 @@ impl Matrix {
         );
         let (m, k) = self.shape();
         let n = rhs.rows();
-        let mut out = Matrix::zeros(m, n);
+        out.reset_shape(m, n);
+        out.as_mut_slice().fill(0.0);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
         let a = self.as_slice();
         let b = rhs.as_slice();
         par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n.max(1);
+            let rows = chunk.len() / n;
             for i in 0..rows {
                 let arow = &a[(start + i) * k..(start + i + 1) * k];
                 let orow = &mut chunk[i * n..(i + 1) * n];
@@ -140,7 +196,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Computes the symmetric Gram matrix `selfᵀ · self`.
@@ -151,38 +206,48 @@ impl Matrix {
     /// lanes with weights proportional to their upper-triangle length, so
     /// the triangular workload stays balanced.
     pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), self.cols());
+        self.gram_into(&mut out);
+        out
+    }
+
+    /// Computes `selfᵀ · self` into `out`, which is re-dimensioned to
+    /// `self.cols() × self.cols()` and fully overwritten. Bitwise identical
+    /// to [`Matrix::gram`].
+    pub fn gram_into(&self, out: &mut Matrix) {
         let (k, m) = self.shape();
-        let mut out = Matrix::zeros(m, m);
+        out.reset_shape(m, m);
+        out.as_mut_slice().fill(0.0);
+        if m == 0 || k == 0 {
+            return;
+        }
         let a = self.as_slice();
-        {
-            let o = out.as_mut_slice();
-            par::par_chunks_mut_weighted(
-                o,
-                m,
-                m,
-                k * m * (m + 1) / 2,
-                |i| m - i,
-                |start, chunk| {
-                    let rows = chunk.len() / m.max(1);
-                    for p in 0..k {
-                        let row = &a[p * m..(p + 1) * m];
-                        for i in 0..rows {
-                            let av = row[start + i];
-                            let orow = &mut chunk[i * m..(i + 1) * m];
-                            for j in (start + i)..m {
-                                orow[j] += av * row[j];
-                            }
+        let o = out.as_mut_slice();
+        par::par_chunks_mut_weighted(
+            o,
+            m,
+            m,
+            k * m * (m + 1) / 2,
+            |i| m - i,
+            |start, chunk| {
+                let rows = chunk.len() / m;
+                for p in 0..k {
+                    let row = &a[p * m..(p + 1) * m];
+                    for i in 0..rows {
+                        let av = row[start + i];
+                        let orow = &mut chunk[i * m..(i + 1) * m];
+                        for j in (start + i)..m {
+                            orow[j] += av * row[j];
                         }
                     }
-                },
-            );
-            for i in 0..m {
-                for j in (i + 1)..m {
-                    o[j * m + i] = o[i * m + j];
                 }
+            },
+        );
+        for i in 0..m {
+            for j in (i + 1)..m {
+                o[j * m + i] = o[i * m + j];
             }
         }
-        out
     }
 
     /// Matrix–vector product `self · v`.
@@ -191,15 +256,34 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols(), "matvec: length mismatch");
-        let (m, k) = self.shape();
-        let a = self.as_slice();
-        let mut out = vec![0.0; m];
-        for i in 0..m {
-            let row = &a[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(v.iter()).map(|(&x, &y)| x * y).sum();
-        }
+        let mut out = vec![0.0; self.rows()];
+        self.matvec_into(v, &mut out);
         out
+    }
+
+    /// Matrix–vector product `self · v` into `out`. Output rows are
+    /// chunked across the worker pool exactly like the GEMM kernels;
+    /// every element is one lane's dot product in ascending-index order,
+    /// so the result is bitwise identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.cols(), "matvec: length mismatch");
+        assert_eq!(out.len(), self.rows(), "matvec: output length mismatch");
+        let (m, k) = self.shape();
+        out.fill(0.0);
+        if m == 0 || k == 0 {
+            return;
+        }
+        let a = self.as_slice();
+        par::par_chunks_mut(out, m, 1, m * k, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                let row = &a[(start + i) * k..(start + i + 1) * k];
+                *o = row.iter().zip(v.iter()).map(|(&x, &y)| x * y).sum();
+            }
+        });
     }
 }
 
@@ -311,6 +395,58 @@ mod tests {
         for (i, &x) in out.iter().enumerate() {
             assert!((x - outm[(i, 0)]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn degenerate_shapes_all_kernels() {
+        // Zero-column outputs used to divide by `n.max(1)` and compute a
+        // bogus per-chunk row count; now every kernel early-returns on any
+        // degenerate dimension. Cover 0-row, 0-col, and 0-inner for all
+        // four GEMM flavours plus matvec.
+        for &(m, k, n) in &[(0, 3, 4), (3, 0, 4), (3, 4, 0), (0, 0, 0)] {
+            let a = Matrix::zeros(m, k);
+            let b = Matrix::zeros(k, n);
+            assert_eq!(a.matmul(&b).shape(), (m, n));
+
+            let at = Matrix::zeros(k, m);
+            assert_eq!(at.matmul_tn(&b).shape(), (m, n));
+
+            let bt = Matrix::zeros(n, k);
+            assert_eq!(a.matmul_nt(&bt).shape(), (m, n));
+        }
+        let u = Matrix::zeros(0, 5);
+        assert_eq!(u.gram().shape(), (5, 5));
+        let u2 = Matrix::zeros(5, 0);
+        assert_eq!(u2.gram().shape(), (0, 0));
+        let a = Matrix::zeros(0, 4);
+        assert_eq!(a.matvec(&[0.0; 4]).len(), 0);
+        let a2 = Matrix::zeros(4, 0);
+        assert_eq!(a2.matvec(&[]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating() {
+        let a = rand_matrix(11, 7, 21);
+        let b = rand_matrix(7, 5, 22);
+        let mut out = Matrix::zeros(1, 1); // wrong shape: forces reset_shape
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let c = rand_matrix(7, 5, 23);
+        let mut out = Matrix::full(11, 5, 9.9); // right shape, stale contents
+        b.matmul_tn_into(&c, &mut out);
+        assert_eq!(out, b.matmul_tn(&c));
+
+        a.matmul_nt_into(&b.transpose(), &mut out);
+        assert_eq!(out, a.matmul_nt(&b.transpose()));
+
+        a.gram_into(&mut out);
+        assert_eq!(out, a.gram());
+
+        let v: Vec<f64> = (0..7).map(|i| i as f64 - 3.0).collect();
+        let mut ov = vec![7.0; 11];
+        a.matvec_into(&v, &mut ov);
+        assert_eq!(ov, a.matvec(&v));
     }
 
     #[test]

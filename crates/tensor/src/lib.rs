@@ -36,11 +36,15 @@ mod matrix;
 pub mod par;
 mod reduce;
 mod softmax;
+pub mod workspace;
 
-pub use cholesky::{cholesky, cholesky_inverse, cholesky_solve, CholeskyError};
+pub use cholesky::{
+    cholesky, cholesky_into, cholesky_inverse, cholesky_inverse_into, cholesky_solve, CholeskyError,
+};
 pub use eigen::{matrix_power_psd, symmetric_eigen, SymmetricEigen};
 pub use error::{ShapeError, TensorError};
 pub use gemm::naive_matmul;
 pub use matrix::Matrix;
-pub use reduce::{argmax_row, col_mean, col_sum, row_mean, row_sum};
+pub use reduce::{argmax_row, col_mean, col_sum, col_sum_into, row_mean, row_sum};
 pub use softmax::{log_softmax, softmax, softmax_inplace};
+pub use workspace::Workspace;

@@ -1,6 +1,8 @@
 //! The row-major dense [`Matrix`] type and its elementwise operations.
 
+use crate::workspace;
 use std::fmt;
+use std::mem;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 /// A dense, row-major `f64` matrix.
@@ -19,7 +21,16 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// assert_eq!(m.shape(), (2, 3));
 /// assert_eq!(m[(1, 2)], 0.0);
 /// ```
-#[derive(Clone, PartialEq)]
+///
+/// # Memory
+///
+/// Fresh matrices draw their backing buffer from the thread-local
+/// [`crate::workspace`] arena, and `Drop` returns the buffer there, so
+/// steady-state kernel loops allocate nothing once warmed up. The arena
+/// recycles capacity only — values are always zeroed or fully overwritten
+/// before a buffer is handed out, so behaviour is bitwise identical with
+/// the arena disabled (`PIPEFISHER_WORKSPACE=off`).
+#[derive(PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -32,17 +43,15 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: workspace::take_zeroed(rows * cols),
         }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let mut data = workspace::take_raw(rows * cols);
+        data.fill(value);
+        Matrix { rows, cols, data }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -151,8 +160,8 @@ impl Matrix {
 
     /// Consumes the matrix, returning the row-major data vector.
     #[inline]
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f64> {
+        mem::take(&mut self.data)
     }
 
     /// Borrows row `r` as a slice.
@@ -220,7 +229,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the total element count changes.
-    pub fn reshape(self, rows: usize, cols: usize) -> Matrix {
+    pub fn reshape(mut self, rows: usize, cols: usize) -> Matrix {
         assert_eq!(
             self.data.len(),
             rows * cols,
@@ -229,16 +238,35 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: self.data,
+            data: mem::take(&mut self.data),
+        }
+    }
+
+    /// Re-dimensions `self` to `rows × cols` for reuse as an output buffer.
+    ///
+    /// When the element count is unchanged only the dimensions are updated
+    /// and the **contents are left unspecified** — callers must fully
+    /// overwrite them. Otherwise the storage is replaced by a (possibly
+    /// recycled) zeroed buffer of the new size.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        if self.data.len() == rows * cols {
+            self.rows = rows;
+            self.cols = cols;
+        } else {
+            *self = Matrix::zeros(rows, cols);
         }
     }
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut data = workspace::take_raw(self.data.len());
+        for (o, &x) in data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
@@ -265,15 +293,14 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "zip_with: shape mismatch");
+        let mut data = workspace::take_raw(self.data.len());
+        for ((o, &a), &b) in data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
+        }
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -407,10 +434,13 @@ impl Matrix {
     /// Panics if `start > end` or `end > self.rows()`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
         assert!(start <= end && end <= self.rows, "slice_rows: bad range");
+        let src = &self.data[start * self.cols..end * self.cols];
+        let mut data = workspace::take_raw(src.len());
+        data.copy_from_slice(src);
         Matrix {
             rows: end - start,
             cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            data,
         }
     }
 
@@ -444,6 +474,34 @@ impl Matrix {
                 *dst += rv;
             }
         }
+    }
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut data = workspace::take_raw(self.data.len());
+        data.copy_from_slice(&self.data);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if self.data.len() == source.data.len() {
+            self.rows = source.rows;
+            self.cols = source.cols;
+            self.data.copy_from_slice(&source.data);
+        } else {
+            *self = source.clone();
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        workspace::put(mem::take(&mut self.data));
     }
 }
 

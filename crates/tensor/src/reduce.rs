@@ -21,12 +21,24 @@ pub fn row_mean(m: &Matrix) -> Vec<f64> {
 /// Sums each column, returning a vector of length `cols`.
 pub fn col_sum(m: &Matrix) -> Vec<f64> {
     let mut out = vec![0.0; m.cols()];
+    col_sum_into(m, &mut out);
+    out
+}
+
+/// Sums each column into `out` (fully overwritten). Bitwise identical to
+/// [`col_sum`]: rows accumulate in ascending order per column.
+///
+/// # Panics
+///
+/// Panics if `out.len() != m.cols()`.
+pub fn col_sum_into(m: &Matrix, out: &mut [f64]) {
+    assert_eq!(out.len(), m.cols(), "col_sum_into: output length");
+    out.fill(0.0);
     for r in 0..m.rows() {
         for (o, &x) in out.iter_mut().zip(m.row(r).iter()) {
             *o += x;
         }
     }
-    out
 }
 
 /// Means each column, returning a vector of length `cols`.

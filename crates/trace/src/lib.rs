@@ -20,8 +20,10 @@
 //! `traceEvents` array of `X` (complete slice), `C` (counter), and `M`
 //! (metadata) events, timestamps in microseconds.
 
+mod alloc;
 mod chrome;
 mod sink;
 
+pub use alloc::{alloc_counting_enabled, alloc_snapshot, AllocSnapshot};
 pub use chrome::{chrome_trace_json, Phase, TraceEvent};
 pub use sink::{counter, drain, enabled, set_enabled, span, Span};

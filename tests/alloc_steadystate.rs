@@ -1,0 +1,211 @@
+//! Allocation-regression gate: after warm-up, the kernel hot path performs
+//! **zero** heap allocations, and a steady-state K-FAC training step is
+//! down to task-dispatch bookkeeping (no buffer allocations; the ≥10×
+//! comparison against the pre-arena tree lives in `BENCH_alloc.json`).
+//!
+//! Requires the `alloc-count` feature (which installs the counting global
+//! allocator from `pipefisher-trace`); the whole file compiles away without
+//! it so plain `cargo test` is unaffected. CI runs this gate at
+//! `PIPEFISHER_THREADS=1` and `=4` — the sizes below sit under the parallel
+//! cutover, so the kernels stay on the calling thread and the strict-zero
+//! assertion holds at any configured thread count.
+
+#![cfg(feature = "alloc-count")]
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pipefisher::nn::{cross_entropy_backward, ForwardCtx, Layer, Linear};
+use pipefisher::optim::{Kfac, KfacConfig, Sgd};
+use pipefisher::tensor::{cholesky_inverse_into, init, workspace, Matrix};
+use pipefisher::trace::alloc_snapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes the tests in this binary: the allocation counters and the
+/// workspace mode are process-wide, so a concurrently running test would
+/// pollute the deltas. Restores env-controlled workspace mode on drop.
+struct Gate(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Gate {
+    fn acquire() -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Gate(guard)
+    }
+}
+
+impl Drop for Gate {
+    fn drop(&mut self) {
+        workspace::reset_enabled();
+    }
+}
+
+/// One pass over every hot-path kernel, reusing caller-owned outputs. The
+/// allocating wrappers are included deliberately: with a warmed pool their
+/// `Matrix::zeros` outputs are checkout hits and their drops are checkins.
+fn kernel_pass(
+    a: &Matrix,
+    b: &Matrix,
+    spd: &Matrix,
+    v: &[f64],
+    out_mm: &mut Matrix,
+    out_tn: &mut Matrix,
+    out_nt: &mut Matrix,
+    out_gram: &mut Matrix,
+    out_inv: &mut Matrix,
+    out_chol: &mut Matrix,
+    out_vec: &mut [f64],
+) {
+    a.matmul_into(b, out_mm);
+    a.matmul_tn_into(b, out_tn);
+    b.matmul_nt_into(a, out_nt);
+    a.gram_into(out_gram);
+    a.matvec_into(v, out_vec);
+    pipefisher::tensor::cholesky_into(spd, out_chol).expect("spd");
+    cholesky_inverse_into(spd, out_inv).expect("spd");
+    // Allocating wrappers: pool hit on checkout, checkin on drop.
+    let tmp = a.matmul(b);
+    drop(tmp);
+}
+
+#[test]
+fn kernel_hot_path_is_allocation_free_after_warmup() {
+    let _gate = Gate::acquire();
+    workspace::set_enabled(true);
+
+    // 40×40: 40³ = 64k mul-adds, far below the 250k parallel cutover, so
+    // every kernel runs on this thread and no boxed tasks are spawned.
+    let n = 40;
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = init::normal(n, n, 1.0, &mut rng);
+    let b = init::normal(n, n, 1.0, &mut rng);
+    let mut spd = a.gram(); // k×k Gram is symmetric PSD...
+    spd.add_diag(1.0); // ...and +I makes it positive definite.
+    let v: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let (mut mm, mut tn, mut nt, mut gram, mut inv, mut chol) = (
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+    );
+    let mut out_vec = vec![0.0; n];
+
+    // Warm-up: sizes every buffer, fills the pool for the wrappers'
+    // temporaries (including cholesky_inverse_into's internal factor).
+    for _ in 0..2 {
+        kernel_pass(
+            &a,
+            &b,
+            &spd,
+            &v,
+            &mut mm,
+            &mut tn,
+            &mut nt,
+            &mut gram,
+            &mut inv,
+            &mut chol,
+            &mut out_vec,
+        );
+    }
+
+    let before = alloc_snapshot();
+    for _ in 0..5 {
+        kernel_pass(
+            &a,
+            &b,
+            &spd,
+            &v,
+            &mut mm,
+            &mut tn,
+            &mut nt,
+            &mut gram,
+            &mut inv,
+            &mut chol,
+            &mut out_vec,
+        );
+    }
+    let delta = alloc_snapshot().since(&before);
+    assert_eq!(
+        delta.allocs, 0,
+        "kernel hot path allocated {} times ({} bytes) after warm-up",
+        delta.allocs, delta.bytes
+    );
+}
+
+/// Runs `steps` K-FAC steps over a small stack of linear layers against a
+/// fixed batch and returns the allocation calls performed by the steps
+/// *after* the first `warmup` (curvature and inversion refresh every step,
+/// so the steady state exercises the full Gram/Cholesky/precondition path).
+fn kfac_run_allocs(steps: usize, warmup: usize) -> u64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut layers: Vec<Linear> = (0..4)
+        .map(|i| Linear::new(&format!("fc{i}"), 16, 16, &mut rng))
+        .collect();
+    let x = init::normal(24, 16, 1.0, &mut rng);
+    let targets: Vec<i64> = (0..24).map(|i| (i % 16) as i64).collect();
+    let mut kfac = Kfac::new(
+        KfacConfig {
+            curvature_interval: 1,
+            inversion_interval: 1,
+            ..Default::default()
+        },
+        Sgd::new(0.9, 0.0),
+    );
+    let mut measured = 0u64;
+    for step in 0..steps {
+        let before = alloc_snapshot();
+        let mut h = x.clone();
+        for lin in layers.iter_mut() {
+            lin.zero_grad();
+            h = lin.forward(&h, &ForwardCtx::train_with_capture());
+        }
+        let mut d = cross_entropy_backward(&h, &targets);
+        for lin in layers.iter_mut().rev() {
+            d = lin.backward(&d);
+        }
+        for lin in layers.iter_mut() {
+            kfac.step(lin, 0.01);
+        }
+        if step >= warmup {
+            measured += alloc_snapshot().since(&before).allocs;
+        }
+    }
+    measured
+}
+
+#[test]
+fn kfac_steady_state_is_near_allocation_free() {
+    let _gate = Gate::acquire();
+
+    workspace::set_enabled(true);
+    let with_pool = kfac_run_allocs(6, 3);
+    workspace::clear();
+
+    workspace::set_enabled(false);
+    let without_pool = kfac_run_allocs(6, 3);
+
+    // With the arena on, a steady-state step allocates no f64 buffers at
+    // all — what remains is the K-FAC task-dispatch bookkeeping (one boxed
+    // closure per layer plus two small Vecs per step call). Bound it
+    // tightly so any buffer allocation sneaking back into the hot path
+    // (every matrix here is ≥ 16×16) trips the gate.
+    let steady_steps = 3;
+    assert!(
+        with_pool <= 24 * steady_steps,
+        "steady-state K-FAC step allocates too much with the workspace on: \
+         {with_pool} allocs over {steady_steps} steps"
+    );
+    // And the arena must be doing real work relative to the same binary
+    // with recycling disabled (the full pre-change ≥10× comparison lives in
+    // BENCH_alloc.json, measured against the pre-refactor tree).
+    assert!(
+        with_pool * 2 <= without_pool,
+        "workspace on: {with_pool} allocs over {steady_steps} steady steps; \
+         off: {without_pool} — expected ≥2× reduction"
+    );
+}
