@@ -1,7 +1,7 @@
 //! `pipefisher train` — pretrain a tiny BERT on the synthetic language.
 
 use crate::args;
-use pipefisher_lm::{BatchSampler, OptimizerChoice, SyntheticLanguage, Trainer};
+use pipefisher_lm::{BatchSampler, OptimizerChoice, PipelineOptions, SyntheticLanguage, Trainer};
 use pipefisher_nn::{BertConfig, BertForPreTraining};
 use pipefisher_optim::{KfacConfig, LrSchedule};
 use rand::rngs::StdRng;
@@ -53,10 +53,50 @@ pub fn run(args: &[String]) -> Result<(), String> {
         total_steps: steps,
         power: 0.5,
     };
+    let pipeline_stages: Option<usize> = args::flag_value(args, "--pipeline-stages")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad --pipeline-stages '{s}'"))
+        })
+        .transpose()?;
+
     let mut trainer = Trainer::new(sampler, 16, schedule, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
-    let run = trainer.run(&mut model, &choice, steps);
+    let run = if let Some(d) = pipeline_stages {
+        let scheme = match args::flag_value(args, "--scheme") {
+            Some(s) => args::scheme(s)?,
+            None => pipefisher_pipeline::PipelineScheme::GPipe,
+        };
+        let n_micro = args::flag_value(args, "--micro-batches")
+            .map(|s| s.parse().map_err(|_| format!("bad --micro-batches '{s}'")))
+            .transpose()?
+            .unwrap_or(4);
+        let mut opts = PipelineOptions::new(scheme, d, n_micro);
+        opts.fill_bubbles = !args::has_flag(args, "--no-fill");
+        let outcome = trainer
+            .run_pipelined(model, &choice, steps, &opts)
+            .map_err(|e| e.to_string())?;
+        let busy = outcome.bubble_aux_ms + outcome.bubble_idle_ms;
+        eprintln!(
+            "pipeline: {} stages, {} micro-batches, scheme {}, bubbles \
+             {:.0} ms ({:.0}% filled with K-FAC work, {:.0} ms tail)",
+            d,
+            n_micro,
+            scheme.name(),
+            busy,
+            if busy > 0.0 {
+                100.0 * outcome.bubble_aux_ms / busy
+            } else {
+                0.0
+            },
+            outcome.tail_aux_ms,
+        );
+        drop(outcome.model); // trained weights; the CLI only reports losses
+        outcome.run
+    } else {
+        trainer.run(&mut model, &choice, steps)
+    };
     if trace_out.is_some() {
         pipefisher_trace::set_enabled(false);
     }

@@ -6,6 +6,7 @@
 //! pipefisher assign   <gpipe|1f1b|chimera> <arch> <hw> <D> <B_micro> [blocks] [W] [--json]
 //! pipefisher model    <arch> <hw> <D> <B_micro> [--json]
 //! pipefisher train    <lamb|kfac> <steps> [--seed N] [--trace-out FILE] [--metrics-out FILE] [--workspace on|off]
+//!                     [--pipeline-stages D] [--scheme S] [--micro-batches N] [--no-fill]
 //! pipefisher sweep    <arch> [--json]
 //! ```
 
@@ -45,10 +46,16 @@ USAGE:
 
     pipefisher train <lamb|kfac> <steps> [--seed N] [--trace-out FILE]
                      [--metrics-out FILE] [--workspace on|off]
+                     [--pipeline-stages D] [--scheme gpipe|1f1b|chimera]
+                     [--micro-batches N] [--no-fill]
         Pretrain a tiny BERT on the synthetic language and print the loss
         curve; optionally record wall-clock trace spans and per-step
         metrics (JSONL). --workspace toggles the buffer-recycling arena
-        (default on; also via PIPEFISHER_WORKSPACE).
+        (default on; also via PIPEFISHER_WORKSPACE). --pipeline-stages runs
+        the step on D stage worker threads (scheme default gpipe, 4
+        micro-batches), filling pipeline bubbles with K-FAC work; --no-fill
+        serializes that work after the stage's pipeline work instead.
+        Losses are bitwise identical to the single-thread loop either way.
 
     pipefisher sweep <arch> [--json]
         (curvature+inversion)/bubble ratio across D, B_micro, and hardware.

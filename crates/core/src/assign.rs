@@ -64,6 +64,17 @@ pub enum AssignError {
         /// The configured horizon.
         max_steps: usize,
     },
+    /// Plan lowering found a (stage, micro-batch) pair with no matching
+    /// task in the graph: the assignment's task ids do not cover the work,
+    /// which previously would have been silently skipped at execution time.
+    MissingTask {
+        /// The absent task's kind (forward or backward).
+        kind: WorkKind,
+        /// Stage with missing coverage.
+        stage: usize,
+        /// Micro-batch with missing coverage.
+        micro_batch: usize,
+    },
 }
 
 impl fmt::Display for AssignError {
@@ -81,6 +92,15 @@ impl fmt::Display for AssignError {
             AssignError::HorizonExceeded { max_steps } => {
                 write!(f, "assignment did not drain within {max_steps} steps")
             }
+            AssignError::MissingTask {
+                kind,
+                stage,
+                micro_batch,
+            } => write!(
+                f,
+                "no {kind} task for stage {stage} micro-batch {micro_batch}: \
+                 the assignment does not cover the graph"
+            ),
         }
     }
 }

@@ -51,8 +51,10 @@
 //! ```
 
 mod assign;
+mod plan;
 
 pub use assign::{
     assign, assign_graph, AssignError, FitStrategy, GraphAssignOptions, PipeFisherConfig,
     PipeFisherSchedule, PlacedWork,
 };
+pub use plan::{AuxKind, AuxOp, DevicePlan, ExecutablePlan, PlanOp};

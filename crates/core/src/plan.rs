@@ -1,0 +1,703 @@
+//! Lowering a task graph (+ optional PipeFisher schedule) into an
+//! executable per-device plan for the wall-clock pipeline executor.
+//!
+//! The simulator-facing types ([`crate::PipeFisherSchedule`]) speak in
+//! continuous time; the executor needs something discrete: for every
+//! device, the exact order of forward/backward micro-batch operations
+//! (with activation-slot and routing annotations) plus an ordered queue of
+//! K-FAC work units to pop whenever the device would otherwise idle in a
+//! bubble. [`ExecutablePlan::lower`] produces that, validating on the way
+//! that the graph actually covers every (stage, micro-batch) pair — a
+//! malformed assignment becomes an [`AssignError::MissingTask`] instead of
+//! a silent skip.
+
+use crate::{AssignError, PipeFisherSchedule};
+use pipefisher_pipeline::{TaskGraph, WorkKind};
+
+/// One standard-work operation in a device's execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Run a stage's forward pass for one micro-batch.
+    Forward {
+        /// Model stage.
+        stage: usize,
+        /// Micro-batch index.
+        mb: usize,
+        /// Activation-slot replica of (device, stage) this micro-batch
+        /// occupies between its forward and backward.
+        slot: usize,
+        /// Device hosting the next stage's forward of this micro-batch
+        /// (`None` for the last stage, whose forward ends in losses).
+        send_to: Option<usize>,
+    },
+    /// Run a stage's backward pass for one micro-batch.
+    Backward {
+        /// Model stage.
+        stage: usize,
+        /// Micro-batch index.
+        mb: usize,
+        /// Slot assigned by the matching forward (freed afterwards).
+        slot: usize,
+        /// Device hosting the previous stage's backward of this
+        /// micro-batch (`None` for stage 0).
+        send_to: Option<usize>,
+    },
+}
+
+/// Kind of a bubble-fillable K-FAC work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuxKind {
+    /// Fold captured activations into Kronecker factor `A` (curvature).
+    FoldA,
+    /// Fold captured error signals into Kronecker factor `B` (curvature).
+    FoldB,
+    /// Damped Cholesky inversion of both factors (π-coupled, so `A` and
+    /// `B` invert together; the schedule's `Inversion(B)` placements are
+    /// absorbed into this unit).
+    Invert,
+}
+
+/// One K-FAC work unit: chunk `chunk` of `chunks` covers the K-FAC layers
+/// `[chunk·K/chunks, (chunk+1)·K/chunks)` of the stage (K = layer count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxOp {
+    /// Model stage whose layers this unit touches.
+    pub stage: usize,
+    /// What to do.
+    pub kind: AuxKind,
+    /// Chunk index within the stage's layer list.
+    pub chunk: usize,
+    /// Total chunks the stage's work is split into (≥ 1).
+    pub chunks: usize,
+}
+
+/// Everything one device needs to run its share of a step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DevicePlan {
+    /// Standard work in execution order.
+    pub ops: Vec<PlanOp>,
+    /// Bubble-fillable K-FAC units in placement-start order (the greedy
+    /// filler's priority); the executor pops the first *ready* one while
+    /// waiting for pipeline input.
+    pub aux: Vec<AuxOp>,
+    /// Per model stage: how many activation-slot replicas this device
+    /// needs (0 = stage not hosted here).
+    pub n_slots: Vec<usize>,
+}
+
+impl DevicePlan {
+    /// Stages this device hosts (runs forwards of), ascending.
+    pub fn hosted_stages(&self) -> Vec<usize> {
+        (0..self.n_slots.len())
+            .filter(|&s| self.n_slots[s] > 0)
+            .collect()
+    }
+}
+
+/// A discrete, per-device execution plan for one training step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutablePlan {
+    /// Scheme name the plan was lowered from.
+    pub scheme: String,
+    /// Pipeline stages.
+    pub n_stages: usize,
+    /// Micro-batches per step.
+    pub n_micro: usize,
+    /// Per-device plans, indexed by device.
+    pub devices: Vec<DevicePlan>,
+    /// Per stage: the device that runs `Forward(stage, N−1)` — the
+    /// micro-batch whose statistics K-FAC captures — and therefore hosts
+    /// that stage's fold and inversion work.
+    pub capture_host: Vec<usize>,
+}
+
+impl ExecutablePlan {
+    /// Lowers a task graph into per-device plans.
+    ///
+    /// Aux (K-FAC) work comes from `schedule` when given: curvature
+    /// placements of the capture micro-batch and `Inversion(A)` placements
+    /// on the capture host, ordered by their bubble start times. Without a
+    /// schedule (e.g. `D = 1`, where there are no bubbles and
+    /// [`crate::assign`] reports `DoesNotFit`), each stage gets the
+    /// canonical fold-A, fold-B, invert sequence on its capture host,
+    /// split into `granularity` chunks.
+    ///
+    /// # Errors
+    ///
+    /// * [`AssignError::MissingTask`] if any (stage, micro-batch) lacks a
+    ///   forward or backward task — an assignment that does not cover the
+    ///   graph must not be silently truncated.
+    /// * [`AssignError::Schedule`] for structurally unexecutable graphs: a
+    ///   task kind the executor does not run (e.g. `Recompute`), a
+    ///   standard task without a micro-batch, or a micro-batch whose
+    ///   forward and backward sit on different devices (activations could
+    ///   never reach the backward).
+    pub fn lower(
+        graph: &TaskGraph,
+        schedule: Option<&PipeFisherSchedule>,
+        granularity: usize,
+    ) -> Result<ExecutablePlan, AssignError> {
+        let n_stages = graph.n_stages();
+        let n_micro = graph.n_micro();
+        let n_devices = graph.n_devices();
+
+        // Coverage + same-device validation via `find`, so a graph whose
+        // task ids miss a (stage, micro-batch) is rejected up front.
+        let mut capture_host = vec![0usize; n_stages];
+        for (stage, host) in capture_host.iter_mut().enumerate() {
+            for mb in 0..n_micro {
+                let fwd =
+                    graph
+                        .find(WorkKind::Forward, stage, mb)
+                        .ok_or(AssignError::MissingTask {
+                            kind: WorkKind::Forward,
+                            stage,
+                            micro_batch: mb,
+                        })?;
+                let bwd =
+                    graph
+                        .find(WorkKind::Backward, stage, mb)
+                        .ok_or(AssignError::MissingTask {
+                            kind: WorkKind::Backward,
+                            stage,
+                            micro_batch: mb,
+                        })?;
+                let (fd, bd) = (graph.task(fwd).device, graph.task(bwd).device);
+                if fd != bd {
+                    return Err(AssignError::Schedule(format!(
+                        "stage {stage} micro-batch {mb}: forward on device {fd} but \
+                         backward on device {bd}; the executor keeps activations local"
+                    )));
+                }
+                if mb == n_micro - 1 {
+                    *host = fd;
+                }
+            }
+        }
+
+        // Per-device op list with free-list slot assignment: a forward
+        // claims the lowest free slot of its (device, stage); the matching
+        // backward releases it. (Round-robin would be wrong: in
+        // `F0 F1 B1 F2` the slot freed by B1 must be reused by F2 while
+        // mb 0 still occupies slot 0.)
+        let mut devices: Vec<DevicePlan> = vec![
+            DevicePlan {
+                ops: Vec::new(),
+                aux: Vec::new(),
+                n_slots: vec![0; n_stages],
+            };
+            n_devices
+        ];
+        use std::collections::HashMap;
+        let mut slot_of: HashMap<(usize, usize), usize> = HashMap::new(); // (stage, mb) → slot
+        let mut free_slots: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); n_stages]; n_devices];
+        for (dev, order) in graph.device_order().iter().enumerate() {
+            for &id in order {
+                let task = graph.task(id);
+                let stage = task.stage;
+                let mb = task.micro_batch.ok_or_else(|| {
+                    AssignError::Schedule(format!(
+                        "{} task on device {dev} has no micro-batch",
+                        task.kind
+                    ))
+                })?;
+                match task.kind {
+                    WorkKind::Forward => {
+                        let slot = match free_slots[dev][stage].pop() {
+                            Some(s) => s,
+                            None => {
+                                let s = devices[dev].n_slots[stage];
+                                devices[dev].n_slots[stage] += 1;
+                                s
+                            }
+                        };
+                        slot_of.insert((stage, mb), slot);
+                        let send_to = if stage + 1 < n_stages {
+                            // Coverage was validated above, so this find
+                            // cannot fail.
+                            let next = graph
+                                .find(WorkKind::Forward, stage + 1, mb)
+                                .expect("coverage validated");
+                            Some(graph.task(next).device)
+                        } else {
+                            None
+                        };
+                        devices[dev].ops.push(PlanOp::Forward {
+                            stage,
+                            mb,
+                            slot,
+                            send_to,
+                        });
+                    }
+                    WorkKind::Backward => {
+                        let slot = *slot_of.get(&(stage, mb)).expect(
+                            "backward after forward on the same device (validated above; \
+                             device order is dependency-consistent)",
+                        );
+                        // Keep the free list sorted so `pop` yields the
+                        // lowest slot.
+                        let fl = &mut free_slots[dev][stage];
+                        fl.push(slot);
+                        fl.sort_unstable_by(|a, b| b.cmp(a));
+                        let send_to = if stage > 0 {
+                            let prev = graph
+                                .find(WorkKind::Backward, stage - 1, mb)
+                                .expect("coverage validated");
+                            Some(graph.task(prev).device)
+                        } else {
+                            None
+                        };
+                        devices[dev].ops.push(PlanOp::Backward {
+                            stage,
+                            mb,
+                            slot,
+                            send_to,
+                        });
+                    }
+                    other => {
+                        return Err(AssignError::Schedule(format!(
+                            "task kind {other} is not executable by the pipeline runner"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Aux work. With a schedule: order the capture micro-batch's
+        // curvature placements and the capture host's Inversion(A)
+        // placements by bubble start time (the filler's priority order).
+        // Per-micro-batch curvature placements other than the capture
+        // micro-batch have no runtime counterpart (K-FAC folds the last
+        // micro-batch's statistics once), and Inversion(B) is absorbed
+        // into the π-coupled Invert unit.
+        let granularity = granularity.max(1);
+        match schedule {
+            Some(sched) => {
+                let mut picked: Vec<(f64, usize, AuxOp)> = Vec::new(); // (start, device, op)
+                let mut chunk_counter: HashMap<(usize, AuxKind), usize> = HashMap::new();
+                for p in &sched.placements {
+                    let kind = match p.kind {
+                        WorkKind::Curvature(pipefisher_pipeline::Factor::A)
+                            if p.micro_batch == Some(n_micro - 1) =>
+                        {
+                            AuxKind::FoldA
+                        }
+                        WorkKind::Curvature(pipefisher_pipeline::Factor::B)
+                            if p.micro_batch == Some(n_micro - 1) =>
+                        {
+                            AuxKind::FoldB
+                        }
+                        WorkKind::Inversion(pipefisher_pipeline::Factor::A)
+                            if p.device == capture_host[p.stage] =>
+                        {
+                            AuxKind::Invert
+                        }
+                        _ => continue,
+                    };
+                    let chunk = chunk_counter.entry((p.stage, kind)).or_insert(0);
+                    picked.push((
+                        p.start,
+                        capture_host[p.stage],
+                        AuxOp {
+                            stage: p.stage,
+                            kind,
+                            chunk: *chunk,
+                            chunks: 0, // patched below once counts are known
+                        },
+                    ));
+                    *chunk += 1;
+                }
+                for (_, _, op) in &mut picked {
+                    op.chunks = chunk_counter[&(op.stage, op.kind)];
+                }
+                picked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for (_, dev, op) in picked {
+                    devices[dev].aux.push(op);
+                }
+            }
+            None => {
+                for (stage, &host) in capture_host.iter().enumerate() {
+                    for kind in [AuxKind::FoldA, AuxKind::FoldB, AuxKind::Invert] {
+                        for chunk in 0..granularity {
+                            devices[host].aux.push(AuxOp {
+                                stage,
+                                kind,
+                                chunk,
+                                chunks: granularity,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(ExecutablePlan {
+            scheme: graph.scheme_name().to_string(),
+            n_stages,
+            n_micro,
+            devices,
+            capture_host,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assign, PipeFisherConfig};
+    use pipefisher_pipeline::{PipelineScheme, StageAssignment};
+    use pipefisher_sim::KindCost;
+
+    fn kfac_costs() -> KindCost {
+        KindCost {
+            t_f: 1.0,
+            t_b: 2.0,
+            t_recompute: 0.0,
+            t_curv_a: 0.4,
+            t_curv_b: 0.4,
+            t_inv_a: 0.6,
+            t_inv_b: 0.6,
+            t_prec: 0.2,
+            t_sync_grad: 0.1,
+            t_sync_curv: 0.1,
+        }
+    }
+
+    fn lower_scheme(scheme: PipelineScheme, d: usize, n: usize) -> ExecutablePlan {
+        let graph = scheme.build(d, n);
+        let sched = assign(&PipeFisherConfig {
+            scheme,
+            d,
+            n_micro: n,
+            w: 1,
+            costs: kfac_costs(),
+            max_steps: 64,
+            chimera_pair_parallelism: false,
+            recompute: false,
+            granularity: 2,
+        })
+        .unwrap();
+        ExecutablePlan::lower(&graph, Some(&sched), 2).unwrap()
+    }
+
+    #[test]
+    fn lowered_plans_cover_all_work() {
+        for scheme in PipelineScheme::all() {
+            let plan = lower_scheme(scheme, 4, 4);
+            let mut fwd = 0;
+            let mut bwd = 0;
+            for dev in &plan.devices {
+                for op in &dev.ops {
+                    match op {
+                        PlanOp::Forward { .. } => fwd += 1,
+                        PlanOp::Backward { .. } => bwd += 1,
+                    }
+                }
+            }
+            assert_eq!(fwd, 16, "{}", scheme.name());
+            assert_eq!(bwd, 16, "{}", scheme.name());
+            // Every stage has exactly one capture host, and all aux work
+            // lives there, 2 chunks per kind per stage.
+            for stage in 0..4 {
+                let host = plan.capture_host[stage];
+                for kind in [AuxKind::FoldA, AuxKind::FoldB, AuxKind::Invert] {
+                    let n: usize = plan
+                        .devices
+                        .iter()
+                        .enumerate()
+                        .map(|(d, dp)| {
+                            let c = dp
+                                .aux
+                                .iter()
+                                .filter(|a| a.stage == stage && a.kind == kind)
+                                .count();
+                            if d != host {
+                                assert_eq!(c, 0, "{}: aux off-host", scheme.name());
+                            }
+                            c
+                        })
+                        .sum();
+                    assert_eq!(n, 2, "{}: stage {stage} {kind:?}", scheme.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_reused_via_free_list() {
+        // 1F1B steady state interleaves F and B, so a 4-deep pipeline's
+        // first stage needs exactly min(D, N) slots, not N.
+        let plan = lower_scheme(PipelineScheme::OneFOneB, 4, 4);
+        assert_eq!(plan.devices[0].n_slots[0], 4);
+        let plan8 = {
+            let graph = PipelineScheme::OneFOneB.build(4, 8);
+            ExecutablePlan::lower(&graph, None, 1).unwrap()
+        };
+        // With 8 micro-batches the window stays bounded by the warmup depth.
+        assert!(
+            plan8.devices[0].n_slots[0] <= 5,
+            "slots {}",
+            plan8.devices[0].n_slots[0]
+        );
+    }
+
+    #[test]
+    fn out_of_order_backward_reuses_lowest_slot() {
+        // F0 F1 B1 F2 B0 B2: F2 must land in slot 1 (freed by B1), while
+        // mb 0 still holds slot 0.
+        let mut g = TaskGraph::new("test", 1, 1, 3);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let f1 = g.push(
+            0,
+            0,
+            Some(1),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let _b1 = g.push(
+            0,
+            0,
+            Some(1),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f1],
+        );
+        let f2 = g.push(
+            0,
+            0,
+            Some(2),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let _b0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        let _b2 = g.push(
+            0,
+            0,
+            Some(2),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f2],
+        );
+        let plan = ExecutablePlan::lower(&g, None, 1).unwrap();
+        let slots: Vec<usize> = plan.devices[0]
+            .ops
+            .iter()
+            .map(|op| match op {
+                PlanOp::Forward { slot, .. } | PlanOp::Backward { slot, .. } => *slot,
+            })
+            .collect();
+        assert_eq!(slots, vec![0, 1, 1, 1, 0, 1]);
+        assert_eq!(plan.devices[0].n_slots[0], 2);
+    }
+
+    #[test]
+    fn missing_backward_is_an_error_not_a_skip() {
+        let mut g = TaskGraph::new("bad", 2, 2, 1);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let f1 = g.push(
+            1,
+            1,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        let _b1 = g.push(
+            1,
+            1,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f1],
+        );
+        // Stage 0's backward is missing entirely.
+        match ExecutablePlan::lower(&g, None, 1) {
+            Err(AssignError::MissingTask {
+                kind: WorkKind::Backward,
+                stage: 0,
+                micro_batch: 0,
+            }) => {}
+            other => panic!("expected MissingTask, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_forward_is_an_error() {
+        let mut g = TaskGraph::new("bad", 1, 1, 2);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let _b0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        // Micro-batch 1 has a backward but no forward.
+        let _b1 = g.push(
+            0,
+            0,
+            Some(1),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![],
+        );
+        match ExecutablePlan::lower(&g, None, 1) {
+            Err(AssignError::MissingTask {
+                kind: WorkKind::Forward,
+                stage: 0,
+                micro_batch: 1,
+            }) => {}
+            other => panic!("expected MissingTask, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_forward_backward_devices_are_rejected() {
+        let mut g = TaskGraph::new("bad", 2, 1, 1);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let _b0 = g.push(
+            1,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        match ExecutablePlan::lower(&g, None, 1) {
+            Err(AssignError::Schedule(msg)) => {
+                assert!(
+                    msg.contains("different device") || msg.contains("device"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Schedule error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_task_kinds_are_rejected() {
+        let mut g = TaskGraph::new("bad", 1, 1, 1);
+        let f0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Forward,
+            StageAssignment::Single,
+            vec![],
+        );
+        let r = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Recompute,
+            StageAssignment::Single,
+            vec![f0],
+        );
+        let _b0 = g.push(
+            0,
+            0,
+            Some(0),
+            WorkKind::Backward,
+            StageAssignment::Single,
+            vec![r],
+        );
+        match ExecutablePlan::lower(&g, None, 1) {
+            Err(AssignError::Schedule(msg)) => assert!(msg.contains("not executable"), "{msg}"),
+            other => panic!("expected Schedule error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chimera_capture_host_is_the_up_pipeline_device() {
+        // Chimera hosts stage s's late micro-batches (incl. the capture
+        // micro-batch N−1) on device D−1−s.
+        let plan = lower_scheme(PipelineScheme::Chimera, 4, 4);
+        for stage in 0..4 {
+            assert_eq!(plan.capture_host[stage], 3 - stage, "stage {stage}");
+        }
+    }
+
+    #[test]
+    fn routing_points_at_hosting_devices() {
+        for scheme in PipelineScheme::all() {
+            let graph = scheme.build(4, 4);
+            let plan = ExecutablePlan::lower(&graph, None, 1).unwrap();
+            for (dev, dp) in plan.devices.iter().enumerate() {
+                for op in &dp.ops {
+                    match *op {
+                        PlanOp::Forward {
+                            stage,
+                            mb,
+                            send_to: Some(to),
+                            ..
+                        } => {
+                            let next = graph.find(WorkKind::Forward, stage + 1, mb).unwrap();
+                            assert_eq!(graph.task(next).device, to, "{} dev {dev}", scheme.name());
+                        }
+                        PlanOp::Forward {
+                            stage,
+                            send_to: None,
+                            ..
+                        } => {
+                            assert_eq!(stage, 3, "{}: only last stage ends", scheme.name());
+                        }
+                        PlanOp::Backward {
+                            stage,
+                            mb,
+                            send_to: Some(to),
+                            ..
+                        } => {
+                            let prev = graph.find(WorkKind::Backward, stage - 1, mb).unwrap();
+                            assert_eq!(graph.task(prev).device, to, "{} dev {dev}", scheme.name());
+                        }
+                        PlanOp::Backward {
+                            stage,
+                            send_to: None,
+                            ..
+                        } => {
+                            assert_eq!(stage, 0, "{}", scheme.name());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -23,10 +23,12 @@ mod corpus;
 mod data;
 mod metrics;
 pub mod parallel;
+mod pipeline;
 mod trainer;
 
 pub use causal::{train_causal_lm, CausalSampler};
 pub use corpus::SyntheticLanguage;
 pub use data::{special_tokens, BatchSampler};
 pub use metrics::{to_jsonl, StepMetrics};
+pub use pipeline::{ExecError, PipelineOptions, PipelineOutcome};
 pub use trainer::{OptimizerChoice, TrainOptions, TrainRun, Trainer};

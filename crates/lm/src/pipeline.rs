@@ -1,0 +1,1182 @@
+//! Wall-clock pipeline-parallel executor (the paper's Figure 1/3 made real).
+//!
+//! [`Trainer::run_pipelined`] partitions `BertForPreTraining` into `D`
+//! contiguous stages, runs one persistent worker thread per simulated
+//! device, and flows micro-batch activations forward / gradients backward
+//! over bounded channels in the exact per-device order of a lowered
+//! [`ExecutablePlan`]. While a worker waits for pipeline input (a bubble),
+//! it pops the first *ready* K-FAC work unit — curvature fold or damped
+//! inversion — from its plan's bubble-fill list, which is ordered by the
+//! PipeFisher scheduler's placements.
+//!
+//! # Determinism
+//!
+//! The executor is bitwise-identical to the single-thread [`Trainer`] loop
+//! (at `PIPEFISHER_THREADS=1`) for every stage count and scheme, because
+//! floating-point work is never re-associated:
+//!
+//! - Each worker computes a micro-batch's gradient contribution on a
+//!   zero-initialised slot replica, so each contribution is exactly the
+//!   serial per-micro-batch gradient.
+//! - The coordinator merges contributions via `axpy(1.0, ·)` in strict
+//!   micro-batch order 0..N−1 — the serial accumulation order — and ×1.0
+//!   is exact.
+//! - K-FAC folds and inversions run on the capture replica with the same
+//!   inputs, in the same per-layer order, as the inline `Kfac::step`; the
+//!   optimizer then applies [`Kfac::step_preconditioned`], which is
+//!   test-proven bitwise-equal to `step` given externally refreshed state.
+//!
+//! The only representational difference is the sign of zeros: the serial
+//! loop accumulates onto `-0.0` slots left by `zero_grad`'s
+//! `scale_inplace(0.0)`, while replicas accumulate onto `+0.0` pool
+//! buffers, and `+0.0 + -0.0 == +0.0`. A sign-of-zero never changes a
+//! loss, norm, or parameter value.
+//!
+//! # Robustness
+//!
+//! Channels are bounded; every blocking wait checks a shared abort flag
+//! and a watchdog deadline. A panicking stage trips the abort with
+//! [`ExecError::StagePanic`] and every thread unwinds to a join; a wedged
+//! stage (or a coordinator starved of results) trips
+//! [`ExecError::Wedged`]. Neither deadlocks.
+
+use crate::metrics::{MetricsRecorder, PhaseTimings};
+use crate::trainer::AnyOpt;
+use crate::{OptimizerChoice, TrainRun, Trainer};
+use pipefisher_core::{assign, AuxKind, DevicePlan, ExecutablePlan, PipeFisherConfig, PlanOp};
+use pipefisher_core::{AssignError, PipeFisherSchedule};
+use pipefisher_nn::{
+    BertForPreTraining, BertStage, ForwardCtx, PreTrainingBatch, StageOutput, StagedBert,
+};
+use pipefisher_optim::{fold_curvature_a, fold_curvature_b, refresh_inverses, LayerKfacState};
+use pipefisher_pipeline::PipelineScheme;
+use pipefisher_sim::KindCost;
+use pipefisher_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Layer chunks each stage's fold/invert work is split into when no
+/// PipeFisher schedule is available (it then dictates its own granularity).
+const AUX_GRANULARITY: usize = 2;
+
+/// How a pipelined run is laid out and supervised.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Pipeline schedule shape (GPipe / 1F1B / Chimera; Chimera needs an
+    /// even stage count and an even micro-batch count).
+    pub scheme: PipelineScheme,
+    /// Contiguous model stages = simulated devices.
+    pub n_stages: usize,
+    /// Micro-batches per optimizer step.
+    pub n_micro: usize,
+    /// Fill pipeline bubbles with K-FAC work (PipeFisher). When off, the
+    /// same work runs serialized after the stage's pipeline work — the
+    /// paper's "K-FAC on pipeline" baseline.
+    pub fill_bubbles: bool,
+    /// No worker (or the coordinator) may go this long without progress
+    /// before the run aborts with [`ExecError::Wedged`].
+    pub watchdog: Duration,
+    /// Test hook: panic on `(device, step)` at step start.
+    pub inject_panic: Option<(usize, usize)>,
+    /// Test hook: wedge `(device, step)` (spin without progress) so the
+    /// watchdog path is exercised.
+    pub inject_stall: Option<(usize, usize)>,
+}
+
+impl PipelineOptions {
+    /// Bubble-filling defaults with a generous watchdog.
+    pub fn new(scheme: PipelineScheme, n_stages: usize, n_micro: usize) -> Self {
+        PipelineOptions {
+            scheme,
+            n_stages,
+            n_micro,
+            fill_bubbles: true,
+            watchdog: Duration::from_secs(30),
+            inject_panic: None,
+            inject_stall: None,
+        }
+    }
+}
+
+/// Why a pipelined run stopped without finishing.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The schedule could not be lowered into an executable plan.
+    Plan(AssignError),
+    /// A stage worker panicked; the run aborted and every thread joined.
+    StagePanic {
+        /// Device whose step body panicked.
+        device: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A worker (or the coordinator) made no progress for the watchdog
+    /// duration; the run aborted rather than deadlocking.
+    Wedged {
+        /// The configured watchdog duration that elapsed without progress.
+        waited: Duration,
+        /// Who was stuck waiting for what.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Plan(e) => write!(f, "pipeline plan error: {e}"),
+            ExecError::StagePanic { device, message } => {
+                write!(f, "stage worker {device} panicked: {message}")
+            }
+            ExecError::Wedged { waited, detail } => {
+                write!(f, "pipeline wedged (no progress for {waited:?}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A finished pipelined run: the loss/metrics history, the reassembled
+/// model, and how the bubbles were spent.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Loss history and per-step metrics, exactly as `Trainer::run` shapes
+    /// them.
+    pub run: TrainRun,
+    /// The trained model, reassembled from its stages.
+    pub model: BertForPreTraining,
+    /// Worker-thread milliseconds spent on K-FAC work *inside* bubbles
+    /// (while waiting for pipeline input).
+    pub bubble_aux_ms: f64,
+    /// Worker-thread milliseconds spent blocked waiting for pipeline input
+    /// with no runnable K-FAC work.
+    pub bubble_idle_ms: f64,
+    /// Worker-thread milliseconds spent on K-FAC work *after* the device's
+    /// pipeline work finished (tail work that found no bubble).
+    pub tail_aux_ms: f64,
+}
+
+type ParamSet = Vec<Matrix>;
+type GradSet = Vec<Matrix>;
+
+/// Per-step K-FAC parameters a worker needs to run fold/invert units.
+#[derive(Debug, Clone)]
+struct KfacStep {
+    t: u64,
+    ema_decay: f64,
+    damping: f64,
+    block_size: Option<usize>,
+    refresh_curv: bool,
+    refresh_inv: bool,
+}
+
+/// One step's marching orders for a device.
+struct StepCmd {
+    step: usize,
+    batches: Arc<Vec<(PreTrainingBatch, ForwardCtx)>>,
+    fill_bubbles: bool,
+    /// Per hosted stage: canonical parameter values to load into every
+    /// slot replica (the shuttle ping-pongs back in `StepDone`).
+    params: Vec<(usize, ParamSet)>,
+    /// Per hosted stage: zeroed gradient sets, one per backward this
+    /// device runs for the stage (returned via `Grads`).
+    grad_pool: Vec<(usize, Vec<GradSet>)>,
+    kfac: Option<KfacStep>,
+    /// Per capture-hosted stage: the optimizer's loaned layer states, in
+    /// the stage's `visit_linears` order (returned via `StepDone`).
+    kfac_states: Vec<(usize, Vec<LayerKfacState>)>,
+}
+
+enum Cmd {
+    Step(Box<StepCmd>),
+    Shutdown,
+}
+
+enum WorkerMsg {
+    Loss {
+        mb: usize,
+        total_loss: f64,
+    },
+    Grads {
+        device: usize,
+        stage: usize,
+        mb: usize,
+        set: GradSet,
+    },
+    StepDone {
+        device: usize,
+        params: Vec<(usize, ParamSet)>,
+        kfac_states: Vec<(usize, Vec<LayerKfacState>)>,
+        bubble_aux_ms: f64,
+        bubble_idle_ms: f64,
+        tail_aux_ms: f64,
+    },
+    Fault {
+        device: usize,
+    },
+}
+
+/// Worker-to-worker payload: a boundary activation heading downstream or a
+/// boundary gradient heading upstream, keyed by the stage that consumes it.
+enum DataMsg {
+    Act { stage: usize, mb: usize, m: Matrix },
+    Grad { stage: usize, mb: usize, m: Matrix },
+}
+
+/// First-fault-wins abort latch shared by the coordinator and all workers.
+#[derive(Default)]
+struct Abort {
+    flag: AtomicBool,
+    fault: Mutex<Option<ExecError>>,
+}
+
+impl Abort {
+    /// Records `err` if no earlier fault was recorded, then raises the flag.
+    fn trip(&self, err: ExecError) {
+        let mut slot = self.fault.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    fn is_tripped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    fn take(&self) -> Option<ExecError> {
+        self.fault.lock().unwrap().take()
+    }
+}
+
+/// Worker-internal "stop this step now" marker; the cause (if this worker
+/// is the one that failed) is already in the [`Abort`] latch.
+struct Halt;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The canonical relative work-unit costs used to ask the PipeFisher
+/// scheduler for a bubble placement (forward 1, backward 2, per the
+/// paper's profile shape). Falls back to `None` when the scheme/shape has
+/// no bubbles to place into (e.g. `D = 1`).
+fn make_schedule(scheme: PipelineScheme, d: usize, n_micro: usize) -> Option<PipeFisherSchedule> {
+    let mut costs = KindCost::standard(1.0, 2.0);
+    costs.t_curv_a = 0.4;
+    costs.t_curv_b = 0.4;
+    costs.t_inv_a = 0.6;
+    costs.t_inv_b = 0.6;
+    costs.t_prec = 0.2;
+    assign(&PipeFisherConfig {
+        scheme,
+        d,
+        n_micro,
+        w: 1,
+        costs,
+        max_steps: 16,
+        chimera_pair_parallelism: false,
+        recompute: false,
+        granularity: AUX_GRANULARITY,
+    })
+    .ok()
+}
+
+/// Global L2 gradient norm over a staged model (same parameter order as the
+/// monolithic model, so the sum is bitwise the serial one).
+fn staged_grad_norm(staged: &mut StagedBert) -> f64 {
+    let mut sq = 0.0;
+    staged.visit_params(&mut |p| {
+        sq += p.grad.as_slice().iter().map(|v| v * v).sum::<f64>();
+    });
+    sq.sqrt()
+}
+
+struct WorkerHandle {
+    cmd_tx: SyncSender<Cmd>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Sends shutdown to every worker and joins them all. Safe on both the
+/// success path and the abort path: every worker blocking point checks the
+/// abort flag or notices the dropped/peer-closed channel.
+fn shutdown_workers(workers: &mut Vec<WorkerHandle>) {
+    for w in workers.iter() {
+        let _ = w.cmd_tx.try_send(Cmd::Shutdown);
+    }
+    for mut w in workers.drain(..) {
+        drop(w.cmd_tx);
+        if let Some(join) = w.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// Trips the abort latch with `fallback` (first fault wins), tears the
+/// worker fleet down, and returns the winning fault.
+fn abort_run(workers: &mut Vec<WorkerHandle>, abort: &Abort, fallback: ExecError) -> ExecError {
+    abort.trip(fallback);
+    shutdown_workers(workers);
+    abort.take().expect("abort latch tripped")
+}
+
+impl Trainer {
+    /// Trains `model` for `steps` optimizer steps on a `D`-stage pipeline
+    /// of worker threads, filling bubbles with K-FAC work per
+    /// `opts.fill_bubbles`. Losses, metrics, and the returned model are
+    /// bitwise-identical to the single-thread accumulated loop (see module
+    /// docs); on error the model is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.n_stages == 0`, `opts.n_micro == 0`, the model has
+    /// fewer blocks than stages need, or the scheme's own shape rules are
+    /// violated (Chimera needs even `D` and even `N`).
+    pub fn run_pipelined(
+        &mut self,
+        model: BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        opts: &PipelineOptions,
+    ) -> Result<PipelineOutcome, ExecError> {
+        assert!(
+            opts.n_stages > 0,
+            "run_pipelined: n_stages must be positive"
+        );
+        assert!(opts.n_micro > 0, "run_pipelined: n_micro must be positive");
+        let (d, n_micro) = (opts.n_stages, opts.n_micro);
+        let graph = opts.scheme.build(d, n_micro);
+        let schedule = make_schedule(opts.scheme, d, n_micro);
+        let plan = ExecutablePlan::lower(&graph, schedule.as_ref(), AUX_GRANULARITY)
+            .map_err(ExecError::Plan)?;
+        let n_devices = plan.devices.len();
+
+        let mut staged = StagedBert::from_model(model, d);
+        // K-FAC layer names per stage, in `visit_linears` order — the index
+        // contract for loaned state vectors.
+        let layer_names: Vec<Vec<String>> = (0..d)
+            .map(|s| {
+                let mut names = Vec::new();
+                staged
+                    .stage_mut(s)
+                    .visit_linears(&mut |lin| names.push(lin.name().to_string()));
+                names
+            })
+            .collect();
+
+        // --- Spawn one persistent worker per device. -------------------
+        let abort = Arc::new(Abort::default());
+        let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
+        let mut data_txs = Vec::with_capacity(n_devices);
+        let mut data_rxs: Vec<Option<Receiver<DataMsg>>> = Vec::with_capacity(n_devices);
+        for dev in 0..n_devices {
+            let hosted = plan.devices[dev].hosted_stages().len().max(1);
+            let (tx, rx) = mpsc::sync_channel::<DataMsg>(2 * n_micro * hosted + 4);
+            data_txs.push(tx);
+            data_rxs.push(Some(rx));
+        }
+        let mut workers: Vec<WorkerHandle> = Vec::with_capacity(n_devices);
+        // Coordinator-held shuttles and pools, keyed by (device, stage).
+        let mut shuttles: HashMap<(usize, usize), ParamSet> = HashMap::new();
+        let mut pools: HashMap<(usize, usize), Vec<GradSet>> = HashMap::new();
+        for (dev, data_rx_slot) in data_rxs.iter_mut().enumerate() {
+            let dplan = plan.devices[dev].clone();
+            let mut hosts = HashMap::new();
+            for s in dplan.hosted_stages() {
+                let mut replicas = Vec::with_capacity(dplan.n_slots[s]);
+                for _ in 0..dplan.n_slots[s] {
+                    let mut replica = staged.stage(s).clone();
+                    replica.visit_params(&mut |p| p.grad.as_mut_slice().fill(0.0));
+                    replica.visit_linears(&mut |lin| lin.kfac_stats_mut().clear());
+                    replicas.push(replica);
+                }
+                let capture_slot = dplan.ops.iter().find_map(|op| match *op {
+                    PlanOp::Forward {
+                        stage, mb, slot, ..
+                    } if stage == s && mb + 1 == n_micro => Some(slot),
+                    _ => None,
+                });
+                hosts.insert(
+                    s,
+                    StageHost {
+                        replicas,
+                        capture_slot,
+                    },
+                );
+                let mut pset = Vec::new();
+                staged
+                    .stage_mut(s)
+                    .visit_params(&mut |p| pset.push(p.value.clone()));
+                shuttles.insert((dev, s), pset);
+                let backwards = dplan
+                    .ops
+                    .iter()
+                    .filter(|op| matches!(op, PlanOp::Backward { stage, .. } if *stage == s))
+                    .count();
+                let mut pool = Vec::with_capacity(backwards);
+                for _ in 0..backwards {
+                    let mut set = Vec::new();
+                    staged.stage_mut(s).visit_params(&mut |p| {
+                        set.push(Matrix::zeros(p.grad.rows(), p.grad.cols()))
+                    });
+                    pool.push(set);
+                }
+                pools.insert((dev, s), pool);
+            }
+            let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(2);
+            let worker = Worker {
+                device: dev,
+                n_micro,
+                last_stage: d - 1,
+                plan: Arc::new(dplan),
+                hosts,
+                cmd_rx,
+                data_rx: data_rx_slot.take().expect("receiver taken once"),
+                peers: data_txs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tx)| if i == dev { None } else { Some(tx.clone()) })
+                    .collect(),
+                results: res_tx.clone(),
+                abort: Arc::clone(&abort),
+                watchdog: opts.watchdog,
+                inject_panic: opts.inject_panic,
+                inject_stall: opts.inject_stall,
+                pending: HashMap::new(),
+                shuttles: HashMap::new(),
+                grad_pools: HashMap::new(),
+                loaned: HashMap::new(),
+                aux_done: Vec::new(),
+                fwd_cap: vec![false; d],
+                bwd_cap: vec![false; d],
+                bubble_aux_ms: 0.0,
+                bubble_idle_ms: 0.0,
+                tail_aux_ms: 0.0,
+                last_progress: Instant::now(),
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("dev{dev}"))
+                .spawn(move || worker.run())
+                .expect("spawn stage worker");
+            workers.push(WorkerHandle {
+                cmd_tx,
+                join: Some(join),
+            });
+        }
+        drop(res_tx);
+        drop(data_txs);
+
+        // --- Step loop (mirrors `run_accumulated` span for span). ------
+        let scale = 1.0 / n_micro as f64;
+        let mut opt = AnyOpt::new(choice);
+        let mut losses = Vec::with_capacity(steps);
+        let mut recorder = MetricsRecorder::default();
+        let (mut bubble_aux_ms, mut bubble_idle_ms, mut tail_aux_ms) = (0.0, 0.0, 0.0);
+        let total_backwards = d * n_micro;
+        for step in 0..steps {
+            let _step_span = pipefisher_trace::span("step", "train");
+            let alloc_before = pipefisher_trace::alloc_snapshot();
+            staged.zero_grad();
+            let refresh_curv = opt.refreshes_curvature_at(step);
+            let refresh_inv = opt.inverts_at(step);
+            let t0 = Instant::now();
+            let batches = {
+                let _span = pipefisher_trace::span("sample", "train");
+                Arc::new(self.sample_micro_batches(n_micro, refresh_curv))
+            };
+            let t1 = Instant::now();
+            let mut returned_states: Vec<(usize, Vec<LayerKfacState>)> = Vec::new();
+            let loss = {
+                let _span = pipefisher_trace::span("forward_backward", "train");
+                // Dispatch.
+                let kfac_step = opt.kfac_mut().map(|k| KfacStep {
+                    t: k.step_count() + 1,
+                    ema_decay: k.config().ema_decay,
+                    damping: k.config().damping,
+                    block_size: k.config().factor_block_size,
+                    refresh_curv,
+                    refresh_inv,
+                });
+                let loan = kfac_step.is_some() && (refresh_curv || refresh_inv);
+                for (dev, w) in workers.iter().enumerate() {
+                    let hosted = plan.devices[dev].hosted_stages();
+                    let mut params = Vec::with_capacity(hosted.len());
+                    let mut grad_pool = Vec::with_capacity(hosted.len());
+                    let mut kfac_states = Vec::new();
+                    for &s in &hosted {
+                        let pset = shuttles.get_mut(&(dev, s)).expect("shuttle exists");
+                        let mut i = 0;
+                        staged.stage_mut(s).visit_params(&mut |p| {
+                            pset[i].clone_from(&p.value);
+                            i += 1;
+                        });
+                        params.push((s, shuttles.remove(&(dev, s)).expect("shuttle exists")));
+                        grad_pool
+                            .push((s, std::mem::take(pools.get_mut(&(dev, s)).expect("pool"))));
+                        if loan && plan.capture_host[s] == dev {
+                            let k = opt.kfac_mut().expect("loan implies K-FAC");
+                            let states: Vec<LayerKfacState> = layer_names[s]
+                                .iter()
+                                .map(|name| k.take_state(name))
+                                .collect();
+                            kfac_states.push((s, states));
+                        }
+                    }
+                    let cmd = StepCmd {
+                        step,
+                        batches: Arc::clone(&batches),
+                        fill_bubbles: opts.fill_bubbles,
+                        params,
+                        grad_pool,
+                        kfac: kfac_step.clone(),
+                        kfac_states,
+                    };
+                    if w.cmd_tx.send(Cmd::Step(Box::new(cmd))).is_err() {
+                        let fallback = ExecError::StagePanic {
+                            device: dev,
+                            message: "worker exited before the step was dispatched".to_string(),
+                        };
+                        return Err(abort_run(&mut workers, &abort, fallback));
+                    }
+                }
+                // Collect.
+                let mut loss_buf = vec![0.0f64; n_micro];
+                let mut loss_got = vec![false; n_micro];
+                let mut grad_sets: HashMap<(usize, usize), (usize, GradSet)> = HashMap::new();
+                let mut done = 0usize;
+                let mut last_msg = Instant::now();
+                loop {
+                    if done == n_devices
+                        && grad_sets.len() == total_backwards
+                        && loss_got.iter().all(|&g| g)
+                    {
+                        break;
+                    }
+                    match res_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(WorkerMsg::Loss { mb, total_loss }) => {
+                            loss_buf[mb] = total_loss;
+                            loss_got[mb] = true;
+                            last_msg = Instant::now();
+                        }
+                        Ok(WorkerMsg::Grads {
+                            device,
+                            stage,
+                            mb,
+                            set,
+                        }) => {
+                            grad_sets.insert((stage, mb), (device, set));
+                            last_msg = Instant::now();
+                        }
+                        Ok(WorkerMsg::StepDone {
+                            device,
+                            params,
+                            kfac_states,
+                            bubble_aux_ms: aux,
+                            bubble_idle_ms: idle,
+                            tail_aux_ms: tail,
+                        }) => {
+                            for (s, pset) in params {
+                                shuttles.insert((device, s), pset);
+                            }
+                            returned_states.extend(kfac_states);
+                            bubble_aux_ms += aux;
+                            bubble_idle_ms += idle;
+                            tail_aux_ms += tail;
+                            done += 1;
+                            last_msg = Instant::now();
+                        }
+                        Ok(WorkerMsg::Fault { device }) => {
+                            let fallback = ExecError::StagePanic {
+                                device,
+                                message: "worker reported a fault".to_string(),
+                            };
+                            return Err(abort_run(&mut workers, &abort, fallback));
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if abort.is_tripped() || last_msg.elapsed() > opts.watchdog {
+                                let fallback = ExecError::Wedged {
+                                    waited: opts.watchdog,
+                                    detail: format!(
+                                        "coordinator starved of step-{step} results \
+                                         ({done}/{n_devices} devices done)"
+                                    ),
+                                };
+                                return Err(abort_run(&mut workers, &abort, fallback));
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            let fallback = ExecError::Wedged {
+                                waited: opts.watchdog,
+                                detail: "all workers exited mid-step".to_string(),
+                            };
+                            return Err(abort_run(&mut workers, &abort, fallback));
+                        }
+                    }
+                }
+                // Merge gradient contributions in serial micro-batch order.
+                for mb in 0..n_micro {
+                    for s in 0..d {
+                        let (device, mut set) =
+                            grad_sets.remove(&(s, mb)).expect("backward coverage");
+                        let mut i = 0;
+                        staged.stage_mut(s).visit_params(&mut |p| {
+                            p.grad.axpy(1.0, &set[i]);
+                            i += 1;
+                        });
+                        for m in &mut set {
+                            m.as_mut_slice().fill(0.0);
+                        }
+                        pools.get_mut(&(device, s)).expect("pool").push(set);
+                    }
+                }
+                loss_buf.iter().sum::<f64>() * scale
+            };
+            staged.visit_params(&mut |p| p.grad.scale_inplace(scale));
+            let t2 = Instant::now();
+            losses.push(loss);
+            pipefisher_trace::counter("loss", loss);
+            let grad_norm = staged_grad_norm(&mut staged);
+            let lr = self.schedule.lr_at(step);
+            let t3 = Instant::now();
+            {
+                let _span = pipefisher_trace::span("optimizer_step", "train");
+                if let Some(k) = opt.kfac_mut() {
+                    for (s, states) in returned_states.drain(..) {
+                        for (name, state) in layer_names[s].iter().zip(states) {
+                            k.put_state(name, state);
+                        }
+                    }
+                }
+                opt.apply_preconditioned(&mut staged, lr);
+            }
+            let t4 = Instant::now();
+            recorder.record(
+                step,
+                loss,
+                grad_norm,
+                lr,
+                PhaseTimings {
+                    data_ms: (t1 - t0).as_secs_f64() * 1e3,
+                    forward_backward_ms: (t2 - t1).as_secs_f64() * 1e3,
+                    optimizer_ms: (t4 - t3).as_secs_f64() * 1e3,
+                },
+                refresh_curv,
+                refresh_inv,
+                pipefisher_trace::alloc_snapshot().since(&alloc_before),
+            );
+        }
+        shutdown_workers(&mut workers);
+        Ok(PipelineOutcome {
+            run: TrainRun {
+                losses,
+                label: opt.label().to_string(),
+                metrics: recorder.into_rows(),
+            },
+            model: staged.into_model(),
+            bubble_aux_ms,
+            bubble_idle_ms,
+            tail_aux_ms,
+        })
+    }
+}
+
+// ===================== worker side =====================
+
+/// A stage this device hosts: one replica per activation slot, plus which
+/// slot runs the capture micro-batch `N−1` (if this device does).
+struct StageHost {
+    replicas: Vec<BertStage>,
+    capture_slot: Option<usize>,
+}
+
+/// One device's worker: executes its `DevicePlan` ops in order each step,
+/// popping ready K-FAC units while blocked on pipeline input.
+struct Worker {
+    device: usize,
+    n_micro: usize,
+    last_stage: usize,
+    plan: Arc<DevicePlan>,
+    hosts: HashMap<usize, StageHost>,
+    cmd_rx: Receiver<Cmd>,
+    data_rx: Receiver<DataMsg>,
+    /// Per-device senders into each peer's `data_rx` (`None` at own index).
+    peers: Vec<Option<SyncSender<DataMsg>>>,
+    results: mpsc::Sender<WorkerMsg>,
+    abort: Arc<Abort>,
+    watchdog: Duration,
+    inject_panic: Option<(usize, usize)>,
+    inject_stall: Option<(usize, usize)>,
+    /// Arrived-but-unconsumed boundary tensors, keyed `(is_grad, stage, mb)`.
+    pending: HashMap<(bool, usize, usize), Matrix>,
+    /// Per-step loans from the coordinator, keyed by stage.
+    shuttles: HashMap<usize, ParamSet>,
+    grad_pools: HashMap<usize, Vec<GradSet>>,
+    loaned: HashMap<usize, Vec<LayerKfacState>>,
+    /// Per-step aux progress.
+    aux_done: Vec<bool>,
+    fwd_cap: Vec<bool>,
+    bwd_cap: Vec<bool>,
+    bubble_aux_ms: f64,
+    bubble_idle_ms: f64,
+    tail_aux_ms: f64,
+    last_progress: Instant,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            let cmd = match self.cmd_rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            };
+            let mut step_cmd = match cmd {
+                Cmd::Shutdown => break,
+                Cmd::Step(c) => c,
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_step(&mut step_cmd)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(Halt)) => {
+                    let _ = self.results.send(WorkerMsg::Fault {
+                        device: self.device,
+                    });
+                    break;
+                }
+                Err(payload) => {
+                    self.abort.trip(ExecError::StagePanic {
+                        device: self.device,
+                        message: panic_message(payload),
+                    });
+                    let _ = self.results.send(WorkerMsg::Fault {
+                        device: self.device,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    fn run_step(&mut self, cmd: &mut StepCmd) -> Result<(), Halt> {
+        if self.inject_panic == Some((self.device, cmd.step)) {
+            panic!(
+                "injected fault: device {} at step {}",
+                self.device, cmd.step
+            );
+        }
+        if self.inject_stall == Some((self.device, cmd.step)) {
+            // Wedge without progress until someone (the watchdog) aborts.
+            while !self.abort.is_tripped() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            return Err(Halt);
+        }
+        self.begin_step(cmd);
+        let plan = Arc::clone(&self.plan);
+        for op in &plan.ops {
+            if self.abort.is_tripped() {
+                return Err(Halt);
+            }
+            match *op {
+                PlanOp::Forward {
+                    stage,
+                    mb,
+                    slot,
+                    send_to,
+                } => self.do_forward(cmd, stage, mb, slot, send_to)?,
+                PlanOp::Backward {
+                    stage,
+                    mb,
+                    slot,
+                    send_to,
+                } => self.do_backward(cmd, stage, mb, slot, send_to)?,
+            }
+        }
+        self.finish_step(cmd)
+    }
+
+    /// Loads the step's loans into worker state and resets per-step
+    /// progress tracking. Slot replicas re-sync to the canonical
+    /// parameters here, so every micro-batch computes on the exact
+    /// serial-step weights.
+    fn begin_step(&mut self, cmd: &mut StepCmd) {
+        for (stage, pset) in cmd.params.drain(..) {
+            let host = self.hosts.get_mut(&stage).expect("params for hosted stage");
+            for replica in &mut host.replicas {
+                let mut i = 0;
+                replica.visit_params(&mut |p| {
+                    p.value.clone_from(&pset[i]);
+                    i += 1;
+                });
+            }
+            self.shuttles.insert(stage, pset);
+        }
+        for (stage, pool) in cmd.grad_pool.drain(..) {
+            self.grad_pools.insert(stage, pool);
+        }
+        for (stage, states) in cmd.kfac_states.drain(..) {
+            self.loaned.insert(stage, states);
+        }
+        self.aux_done.clear();
+        self.aux_done.resize(self.plan.aux.len(), false);
+        self.fwd_cap.iter_mut().for_each(|f| *f = false);
+        self.bwd_cap.iter_mut().for_each(|f| *f = false);
+        self.bubble_aux_ms = 0.0;
+        self.bubble_idle_ms = 0.0;
+        self.tail_aux_ms = 0.0;
+        self.last_progress = Instant::now();
+    }
+
+    fn do_forward(
+        &mut self,
+        cmd: &StepCmd,
+        stage: usize,
+        mb: usize,
+        slot: usize,
+        send_to: Option<usize>,
+    ) -> Result<(), Halt> {
+        let input = if stage == 0 {
+            None
+        } else {
+            Some(self.wait_for(false, stage, mb, cmd)?)
+        };
+        let (batch, ctx) = &cmd.batches[mb];
+        let out = {
+            let _span = pipefisher_trace::span("forward", "pipeline");
+            let host = self.hosts.get_mut(&stage).expect("forward on hosted stage");
+            host.replicas[slot].forward(input, batch, ctx)
+        };
+        if mb + 1 == self.n_micro {
+            self.fwd_cap[stage] = true;
+        }
+        match out {
+            StageOutput::Boundary(m) => {
+                let dest = send_to.expect("interior forward routes downstream");
+                self.send_data(
+                    dest,
+                    DataMsg::Act {
+                        stage: stage + 1,
+                        mb,
+                        m,
+                    },
+                )?;
+            }
+            StageOutput::Losses(out) => {
+                self.results
+                    .send(WorkerMsg::Loss {
+                        mb,
+                        total_loss: out.total_loss,
+                    })
+                    .map_err(|_| Halt)?;
+            }
+        }
+        self.last_progress = Instant::now();
+        Ok(())
+    }
+
+    fn do_backward(
+        &mut self,
+        cmd: &StepCmd,
+        stage: usize,
+        mb: usize,
+        slot: usize,
+        send_to: Option<usize>,
+    ) -> Result<(), Halt> {
+        let dout = if stage == self.last_stage {
+            None
+        } else {
+            Some(self.wait_for(true, stage, mb, cmd)?)
+        };
+        let (batch, _ctx) = &cmd.batches[mb];
+        let upstream = {
+            let _span = pipefisher_trace::span("backward", "pipeline");
+            let host = self
+                .hosts
+                .get_mut(&stage)
+                .expect("backward on hosted stage");
+            host.replicas[slot].backward(dout, batch)
+        };
+        if mb + 1 == self.n_micro {
+            self.bwd_cap[stage] = true;
+        }
+        if let (Some(m), Some(dest)) = (upstream, send_to) {
+            self.send_data(
+                dest,
+                DataMsg::Grad {
+                    stage: stage - 1,
+                    mb,
+                    m,
+                },
+            )?;
+        }
+        // Hand this micro-batch's contribution to the coordinator: swap the
+        // replica's accumulated grads with a zeroed set from the pool, so
+        // the replica is clean for its slot's next micro-batch.
+        let mut set = self
+            .grad_pools
+            .get_mut(&stage)
+            .expect("grad pool for hosted stage")
+            .pop()
+            .expect("grad pool sized to backward count");
+        {
+            let host = self.hosts.get_mut(&stage).expect("hosted stage");
+            let mut i = 0;
+            host.replicas[slot].visit_params(&mut |p| {
+                std::mem::swap(&mut p.grad, &mut set[i]);
+                i += 1;
+            });
+        }
+        self.results
+            .send(WorkerMsg::Grads {
+                device: self.device,
+                stage,
+                mb,
+                set,
+            })
+            .map_err(|_| Halt)?;
+        self.last_progress = Instant::now();
+        Ok(())
+    }
+
+    /// Runs remaining K-FAC units (tail work that found no bubble), clears
+    /// the capture replicas' statistics, and returns the loans.
+    fn finish_step(&mut self, cmd: &StepCmd) -> Result<(), Halt> {
+        let tail_t = Instant::now();
+        while self.try_aux_one(cmd) {
+            if self.abort.is_tripped() {
+                return Err(Halt);
+            }
+        }
+        self.tail_aux_ms = tail_t.elapsed().as_secs_f64() * 1e3;
+        if cmd.kfac.as_ref().is_some_and(|k| k.refresh_curv) {
+            for host in self.hosts.values_mut() {
+                if let Some(slot) = host.capture_slot {
+                    host.replicas[slot].visit_linears(&mut |lin| lin.kfac_stats_mut().clear());
+                }
+            }
+        }
+        let mut params: Vec<(usize, ParamSet)> = self.shuttles.drain().collect();
+        params.sort_by_key(|(s, _)| *s);
+        let mut kfac_states: Vec<(usize, Vec<LayerKfacState>)> = self.loaned.drain().collect();
+        kfac_states.sort_by_key(|(s, _)| *s);
+        self.results
+            .send(WorkerMsg::StepDone {
+                device: self.device,
+                params,
+                kfac_states,
+                bubble_aux_ms: self.bubble_aux_ms,
+                bubble_idle_ms: self.bubble_idle_ms,
+                tail_aux_ms: self.tail_aux_ms,
+            })
+            .map_err(|_| Halt)
+    }
+
+    /// Blocks until the boundary tensor keyed `(is_grad, stage, mb)`
+    /// arrives, filling the wait with ready K-FAC units (the bubbles the
+    /// paper targets) and honoring abort/watchdog.
+    fn wait_for(
+        &mut self,
+        is_grad: bool,
+        stage: usize,
+        mb: usize,
+        cmd: &StepCmd,
+    ) -> Result<Matrix, Halt> {
+        let key = (is_grad, stage, mb);
+        loop {
+            while let Ok(msg) = self.data_rx.try_recv() {
+                self.stash(msg);
+            }
+            if let Some(m) = self.pending.remove(&key) {
+                self.last_progress = Instant::now();
+                return Ok(m);
+            }
+            if cmd.fill_bubbles && self.try_aux_one(cmd) {
+                continue;
+            }
+            let idle_t = Instant::now();
+            match self.data_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(msg) => {
+                    self.bubble_idle_ms += idle_t.elapsed().as_secs_f64() * 1e3;
+                    self.stash(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.bubble_idle_ms += idle_t.elapsed().as_secs_f64() * 1e3;
+                    if self.abort.is_tripped() {
+                        return Err(Halt);
+                    }
+                    if self.last_progress.elapsed() > self.watchdog {
+                        let what = if is_grad { "gradient" } else { "activation" };
+                        self.abort.trip(ExecError::Wedged {
+                            waited: self.watchdog,
+                            detail: format!(
+                                "device {} stuck waiting for the {what} of stage {stage} \
+                                 micro-batch {mb}",
+                                self.device
+                            ),
+                        });
+                        return Err(Halt);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(Halt),
+            }
+        }
+    }
+
+    fn stash(&mut self, msg: DataMsg) {
+        let (key, m) = match msg {
+            DataMsg::Act { stage, mb, m } => ((false, stage, mb), m),
+            DataMsg::Grad { stage, mb, m } => ((true, stage, mb), m),
+        };
+        self.pending.insert(key, m);
+        self.last_progress = Instant::now();
+    }
+
+    /// Routes a boundary tensor to the device hosting its consumer; a
+    /// self-send short-circuits into `pending`.
+    fn send_data(&mut self, dest: usize, msg: DataMsg) -> Result<(), Halt> {
+        if dest == self.device {
+            self.stash(msg);
+            return Ok(());
+        }
+        let mut msg = msg;
+        loop {
+            let tx = self.peers[dest].as_ref().expect("peer sender");
+            match tx.try_send(msg) {
+                Ok(()) => {
+                    self.last_progress = Instant::now();
+                    return Ok(());
+                }
+                Err(TrySendError::Full(back)) => {
+                    msg = back;
+                    if self.abort.is_tripped() {
+                        return Err(Halt);
+                    }
+                    if self.last_progress.elapsed() > self.watchdog {
+                        self.abort.trip(ExecError::Wedged {
+                            waited: self.watchdog,
+                            detail: format!(
+                                "device {} stuck sending to device {dest} (full channel)",
+                                self.device
+                            ),
+                        });
+                        return Err(Halt);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(Halt),
+            }
+        }
+    }
+
+    /// Runs the first K-FAC unit whose inputs are ready; returns whether
+    /// any work was done. Units for phases the step does not refresh are
+    /// marked done without running (there is nothing to compute).
+    fn try_aux_one(&mut self, cmd: &StepCmd) -> bool {
+        let Some(kfac) = cmd.kfac.clone() else {
+            return false;
+        };
+        if !kfac.refresh_curv && !kfac.refresh_inv {
+            return false;
+        }
+        let plan = Arc::clone(&self.plan);
+        for (i, op) in plan.aux.iter().enumerate() {
+            if self.aux_done[i] {
+                continue;
+            }
+            let applicable = match op.kind {
+                AuxKind::FoldA | AuxKind::FoldB => kfac.refresh_curv,
+                AuxKind::Invert => kfac.refresh_inv,
+            };
+            if !applicable {
+                self.aux_done[i] = true;
+                continue;
+            }
+            let ready = match op.kind {
+                AuxKind::FoldA => self.fwd_cap[op.stage],
+                AuxKind::FoldB => self.bwd_cap[op.stage],
+                // Inversion consumes the stage's folded factors: on a
+                // curvature-refresh step it waits for every fold of the
+                // stage; on a pure inversion step the factors are already
+                // current.
+                AuxKind::Invert => {
+                    !kfac.refresh_curv
+                        || plan.aux.iter().enumerate().all(|(j, other)| {
+                            other.stage != op.stage
+                                || !matches!(other.kind, AuxKind::FoldA | AuxKind::FoldB)
+                                || self.aux_done[j]
+                        })
+                }
+            };
+            if !ready {
+                continue;
+            }
+            self.aux_done[i] = true;
+            let t = Instant::now();
+            self.run_aux(op.stage, op.kind, op.chunk, op.chunks, &kfac);
+            self.bubble_aux_ms += t.elapsed().as_secs_f64() * 1e3;
+            self.last_progress = Instant::now();
+            return true;
+        }
+        false
+    }
+
+    /// Executes one fold/invert unit over the chunk's slice of the stage's
+    /// K-FAC layers, on the capture replica's statistics, against the
+    /// optimizer's loaned layer states.
+    fn run_aux(
+        &mut self,
+        stage: usize,
+        kind: AuxKind,
+        chunk: usize,
+        chunks: usize,
+        kfac: &KfacStep,
+    ) {
+        let Some(states) = self.loaned.get_mut(&stage) else {
+            return; // no loan (e.g. another device's refresh already has it)
+        };
+        let host = self.hosts.get_mut(&stage).expect("aux on hosted stage");
+        let slot = host.capture_slot.expect("aux runs on the capture host");
+        let replica = &mut host.replicas[slot];
+        let k_total = states.len();
+        let lo = chunk * k_total / chunks;
+        let hi = (chunk + 1) * k_total / chunks;
+        match kind {
+            AuxKind::FoldA => {
+                let _span = pipefisher_trace::span("curvature_a", "kfac");
+                let mut i = 0;
+                replica.visit_linears(&mut |lin| {
+                    if i >= lo && i < hi {
+                        fold_curvature_a(&mut states[i], lin, kfac.ema_decay, kfac.t);
+                    }
+                    i += 1;
+                });
+            }
+            AuxKind::FoldB => {
+                let _span = pipefisher_trace::span("curvature_b", "kfac");
+                let mut i = 0;
+                replica.visit_linears(&mut |lin| {
+                    if i >= lo && i < hi {
+                        fold_curvature_b(&mut states[i], lin, kfac.ema_decay, kfac.t);
+                    }
+                    i += 1;
+                });
+            }
+            AuxKind::Invert => {
+                let _span = pipefisher_trace::span("inversion", "kfac");
+                for state in &mut states[lo..hi] {
+                    refresh_inverses(state, kfac.damping, kfac.block_size, kfac.t);
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,9 @@
 use crate::metrics::{MetricsRecorder, PhaseTimings};
 use crate::{BatchSampler, StepMetrics};
 use pipefisher_nn::{BertForPreTraining, ForwardCtx, PreTrainingBatch};
-use pipefisher_optim::{Kfac, KfacConfig, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig};
+use pipefisher_optim::{
+    Kfac, KfacConfig, KfacModel, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig,
+};
 use pipefisher_tensor::par;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,7 +107,7 @@ impl Default for TrainOptions {
 pub struct Trainer {
     sampler: BatchSampler,
     batch_size: usize,
-    schedule: LrSchedule,
+    pub(crate) schedule: LrSchedule,
     data_rng: StdRng,
 }
 
@@ -151,7 +153,7 @@ impl Trainer {
 
     /// Samples the step's micro-batches up front (serially, preserving the
     /// data RNG stream) with the forward context each one should use.
-    fn sample_micro_batches(
+    pub(crate) fn sample_micro_batches(
         &mut self,
         accumulation: usize,
         capture_last: bool,
@@ -343,15 +345,16 @@ fn global_grad_norm(model: &mut BertForPreTraining) -> f64 {
 
 /// The trainer's optimizer dispatch: one enum instead of three copies of
 /// the step loop, carrying what the metrics recorder needs (labels and the
-/// K-FAC refresh cadence).
-enum AnyOpt {
+/// K-FAC refresh cadence). Crate-visible so the pipeline executor reuses
+/// the identical dispatch (and K-FAC state plumbing) for its steps.
+pub(crate) enum AnyOpt {
     Lamb(Lamb),
     Kfac { opt: Kfac<Lamb>, config: KfacConfig },
     Shampoo(Shampoo),
 }
 
 impl AnyOpt {
-    fn new(choice: &OptimizerChoice) -> AnyOpt {
+    pub(crate) fn new(choice: &OptimizerChoice) -> AnyOpt {
         match choice {
             OptimizerChoice::Lamb { weight_decay } => AnyOpt::Lamb(Lamb::new(*weight_decay)),
             OptimizerChoice::Kfac { weight_decay, kfac } => AnyOpt::Kfac {
@@ -362,7 +365,7 @@ impl AnyOpt {
         }
     }
 
-    fn label(&self) -> &'static str {
+    pub(crate) fn label(&self) -> &'static str {
         match self {
             AnyOpt::Lamb(_) => "NVLAMB",
             AnyOpt::Kfac { .. } => "K-FAC",
@@ -372,7 +375,7 @@ impl AnyOpt {
 
     /// Whether step `step` captures activations/errors and folds them into
     /// the Kronecker factors (what PipeFisher's bubble schedule computes).
-    fn refreshes_curvature_at(&self, step: usize) -> bool {
+    pub(crate) fn refreshes_curvature_at(&self, step: usize) -> bool {
         match self {
             AnyOpt::Kfac { config, .. } => {
                 (step as u64).is_multiple_of(config.curvature_interval as u64)
@@ -383,7 +386,7 @@ impl AnyOpt {
 
     /// Whether step `step` recomputes the damped factor inverses (mirrors
     /// [`Kfac::step`]'s internal cadence).
-    fn inverts_at(&self, step: usize) -> bool {
+    pub(crate) fn inverts_at(&self, step: usize) -> bool {
         match self {
             AnyOpt::Kfac { config, .. } => {
                 (step as u64).is_multiple_of(config.inversion_interval as u64)
@@ -392,18 +395,43 @@ impl AnyOpt {
         }
     }
 
-    /// Applies one optimizer update to the accumulated gradients.
-    fn apply(&mut self, model: &mut BertForPreTraining, lr: f64) {
+    /// Applies one optimizer update to the accumulated gradients. Takes the
+    /// model through [`KfacModel`] so the pipeline executor can drive the
+    /// same dispatch on a staged model; for `BertForPreTraining` the
+    /// `visit_all_params` traversal is `visit_params`, so the monolithic
+    /// trainer's behaviour is bitwise unchanged.
+    fn apply(&mut self, model: &mut dyn KfacModel, lr: f64) {
         match self {
             AnyOpt::Lamb(opt) => {
                 opt.begin_step();
-                model.visit_params(&mut |p| opt.step_param(p, lr));
+                model.visit_all_params(&mut |p| opt.step_param(p, lr));
             }
             AnyOpt::Kfac { opt, .. } => opt.step(model, lr),
             AnyOpt::Shampoo(opt) => {
                 opt.begin_step();
-                model.visit_params(&mut |p| opt.step_param(p, lr));
+                model.visit_all_params(&mut |p| opt.step_param(p, lr));
             }
+        }
+    }
+
+    /// Like [`AnyOpt::apply`], but assumes the K-FAC curvature folds and
+    /// inverse refreshes for this step already ran externally (in pipeline
+    /// bubbles) against the optimizer's loaned-out layer states. For
+    /// NVLAMB/Shampoo there is no external work, so this is `apply`.
+    pub(crate) fn apply_preconditioned(&mut self, model: &mut dyn KfacModel, lr: f64) {
+        match self {
+            AnyOpt::Kfac { opt, .. } => opt.step_preconditioned(model, lr),
+            _ => self.apply(model, lr),
+        }
+    }
+
+    /// The wrapped K-FAC optimizer, when this is the K-FAC arm — the
+    /// executor loans layer states out of it and returns them each refresh
+    /// step.
+    pub(crate) fn kfac_mut(&mut self) -> Option<&mut Kfac<Lamb>> {
+        match self {
+            AnyOpt::Kfac { opt, .. } => Some(opt),
+            _ => None,
         }
     }
 }

@@ -218,6 +218,33 @@ pub struct PreTrainingOutput {
     pub mlm_count: usize,
 }
 
+/// The constituent layers of a [`BertForPreTraining`], exposed so the
+/// pipeline-stage partitioner ([`crate::StagedBert`]) can split a model
+/// into contiguous stages and reassemble it losslessly.
+#[derive(Debug, Clone)]
+pub struct PreTrainingParts {
+    /// Encoder hyperparameters.
+    pub config: BertConfig,
+    /// Input embedding stack (always stage 0).
+    pub embedding: Embedding,
+    /// Encoder blocks, in depth order.
+    pub blocks: Vec<crate::TransformerBlock>,
+    /// MLM head transform dense layer.
+    pub mlm_transform: Linear,
+    /// MLM head activation (GELU).
+    pub mlm_act: Activation,
+    /// MLM head LayerNorm.
+    pub mlm_ln: LayerNorm,
+    /// MLM vocabulary decoder (K-FAC excluded).
+    pub mlm_decoder: Linear,
+    /// NSP pooler dense layer.
+    pub nsp_pooler: Linear,
+    /// NSP activation (tanh).
+    pub nsp_act: Activation,
+    /// NSP classifier (K-FAC excluded).
+    pub nsp_classifier: Linear,
+}
+
 /// BERT with the two pretraining heads: masked LM and next-sentence
 /// prediction.
 ///
@@ -256,6 +283,71 @@ impl BertForPreTraining {
             mlm_decoder,
             nsp_pooler: Linear::new_bert("head.nsp.pooler", d, d, rng),
             nsp_act: Activation::new(ActivationKind::Tanh),
+            nsp_classifier,
+            seq: 0,
+        }
+    }
+
+    /// Decomposes the model into its constituent layers for pipeline-stage
+    /// partitioning (see [`crate::StagedBert`]); [`Self::from_parts`] is the
+    /// exact inverse.
+    pub fn into_parts(self) -> PreTrainingParts {
+        let BertForPreTraining {
+            bert,
+            mlm_transform,
+            mlm_act,
+            mlm_ln,
+            mlm_decoder,
+            nsp_pooler,
+            nsp_act,
+            nsp_classifier,
+            seq: _,
+        } = self;
+        let BertModel {
+            config,
+            embedding,
+            blocks,
+        } = bert;
+        PreTrainingParts {
+            config,
+            embedding,
+            blocks,
+            mlm_transform,
+            mlm_act,
+            mlm_ln,
+            mlm_decoder,
+            nsp_pooler,
+            nsp_act,
+            nsp_classifier,
+        }
+    }
+
+    /// Reassembles a model from [`Self::into_parts`] output.
+    pub fn from_parts(parts: PreTrainingParts) -> Self {
+        let PreTrainingParts {
+            config,
+            embedding,
+            blocks,
+            mlm_transform,
+            mlm_act,
+            mlm_ln,
+            mlm_decoder,
+            nsp_pooler,
+            nsp_act,
+            nsp_classifier,
+        } = parts;
+        BertForPreTraining {
+            bert: BertModel {
+                config,
+                embedding,
+                blocks,
+            },
+            mlm_transform,
+            mlm_act,
+            mlm_ln,
+            mlm_decoder,
+            nsp_pooler,
+            nsp_act,
             nsp_classifier,
             seq: 0,
         }

@@ -20,6 +20,11 @@ pub struct Embedding {
     dropout: Dropout,
     cache: Option<(Vec<usize>, Vec<usize>)>,
     cached_seq: usize,
+    /// Per-table scatter scratch (word, position, segment): the backward
+    /// pass scatters into these zeroed buffers and lands in each table's
+    /// gradient through a single `accumulate_grad`, so micro-batch
+    /// contributions associate the same way as every other layer's.
+    grad_scratch: [Matrix; 3],
 }
 
 impl Embedding {
@@ -50,6 +55,7 @@ impl Embedding {
             dropout: Dropout::new(dropout_p, 0xE4B_0001),
             cache: None,
             cached_seq: 0,
+            grad_scratch: [Matrix::default(), Matrix::default(), Matrix::default()],
         }
     }
 
@@ -123,6 +129,11 @@ impl Embedding {
 
     /// Backpropagates into the three tables.
     ///
+    /// Each call scatters into zeroed per-table scratch buffers and then
+    /// adds every table's contribution through one `accumulate_grad`, so a
+    /// batch contributes to `grad` with a single addition — the invariant
+    /// the pipeline executor's micro-batch merge relies on.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`Embedding::forward`].
@@ -135,22 +146,34 @@ impl Embedding {
             .expect("Embedding::backward before forward");
         let seq = self.cached_seq;
         let d = self.d_model();
+        let [word_s, pos_s, seg_s] = &mut self.grad_scratch;
+        for (scratch, table) in [
+            (&mut *word_s, &self.word),
+            (&mut *pos_s, &self.position),
+            (&mut *seg_s, &self.segment),
+        ] {
+            scratch.reset_shape(table.value.rows(), table.value.cols());
+            scratch.as_mut_slice().fill(0.0);
+        }
         for (i, (&tok, &segid)) in token_ids.iter().zip(segment_ids.iter()).enumerate() {
             let pos = i % seq;
             let g = dsum.row(i);
-            let wrow = self.word.grad.row_mut(tok);
+            let wrow = word_s.row_mut(tok);
             for c in 0..d {
                 wrow[c] += g[c];
             }
-            let prow = self.position.grad.row_mut(pos);
+            let prow = pos_s.row_mut(pos);
             for c in 0..d {
                 prow[c] += g[c];
             }
-            let srow = self.segment.grad.row_mut(segid);
+            let srow = seg_s.row_mut(segid);
             for c in 0..d {
                 srow[c] += g[c];
             }
         }
+        self.word.accumulate_grad(word_s);
+        self.position.accumulate_grad(pos_s);
+        self.segment.accumulate_grad(seg_s);
     }
 
     /// Visits the embedding tables and LayerNorm parameters.

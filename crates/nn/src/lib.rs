@@ -44,10 +44,14 @@ mod layernorm;
 mod linear;
 mod loss;
 mod param;
+mod stage;
 
 pub use activation::{Activation, ActivationKind};
 pub use attention::MultiHeadAttention;
-pub use bert::{BertConfig, BertForPreTraining, BertModel, PreTrainingBatch, PreTrainingOutput};
+pub use bert::{
+    BertConfig, BertForPreTraining, BertModel, PreTrainingBatch, PreTrainingOutput,
+    PreTrainingParts,
+};
 pub use block::TransformerBlock;
 pub use decoder::{CausalLmOutput, DecoderBlock, GptForCausalLm};
 pub use dropout::Dropout;
@@ -57,6 +61,7 @@ pub use layernorm::LayerNorm;
 pub use linear::{KfacBatchStats, Linear};
 pub use loss::{cross_entropy_backward, cross_entropy_loss, CrossEntropyResult, IGNORE_INDEX};
 pub use param::{ParamVisitor, Parameter};
+pub use stage::{BertStage, PreTrainingHead, StageOutput, StagedBert};
 
 use pipefisher_tensor::Matrix;
 

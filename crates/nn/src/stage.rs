@@ -1,0 +1,515 @@
+//! Pipeline-stage partitioning of [`BertForPreTraining`].
+//!
+//! The pipeline executor (`pipefisher-lm`) splits the pretraining model into
+//! `D` contiguous stages: stage 0 owns the input embeddings, the encoder
+//! blocks are distributed in contiguous depth ranges, and the last stage
+//! owns both pretraining heads. Every layer instance is *moved* between the
+//! monolithic and staged forms ([`StagedBert::from_model`] /
+//! [`StagedBert::into_model`] are exact inverses), and each stage's forward
+//! and backward run the identical layer calls the monolithic
+//! [`BertForPreTraining::train_step`] would, so running the stages in
+//! dependency order reproduces the monolithic pass bitwise.
+
+use crate::{
+    cross_entropy_backward, cross_entropy_loss, Activation, BertConfig, BertForPreTraining,
+    Embedding, ForwardCtx, Layer, LayerNorm, Linear, ParamVisitor, PreTrainingBatch,
+    PreTrainingOutput, PreTrainingParts, TransformerBlock,
+};
+use pipefisher_tensor::Matrix;
+
+/// The MLM + NSP pretraining heads as one unit, hosted by the last stage.
+///
+/// Forward computes both losses and caches the logits; the deferred
+/// [`PreTrainingHead::backward`] replays the monolithic head backward and
+/// returns the gradient flowing into the encoder's final hidden states.
+#[derive(Debug, Clone)]
+pub struct PreTrainingHead {
+    mlm_transform: Linear,
+    mlm_act: Activation,
+    mlm_ln: LayerNorm,
+    mlm_decoder: Linear,
+    nsp_pooler: Linear,
+    nsp_act: Activation,
+    nsp_classifier: Linear,
+    /// `(mlm_logits, nsp_logits)` from the pending forward.
+    cache: Option<(Matrix, Matrix)>,
+}
+
+impl PreTrainingHead {
+    /// Runs both heads over the encoder output, caching logits for the
+    /// deferred backward. The layer call sequence is exactly
+    /// [`BertForPreTraining::train_step`]'s head section.
+    pub fn forward(
+        &mut self,
+        hidden: &Matrix,
+        batch: &PreTrainingBatch,
+        ctx: &ForwardCtx,
+    ) -> PreTrainingOutput {
+        let batch_size = batch.batch_size();
+        let t = self.mlm_transform.forward(hidden, ctx);
+        let t = self.mlm_act.forward(&t, ctx);
+        let t = self.mlm_ln.forward(&t, ctx);
+        let mlm_logits = self.mlm_decoder.forward(&t, ctx);
+        let mlm = cross_entropy_loss(&mlm_logits, &batch.mlm_targets);
+
+        let mut first_tokens = Matrix::zeros(batch_size, hidden.cols());
+        for b in 0..batch_size {
+            first_tokens
+                .row_mut(b)
+                .copy_from_slice(hidden.row(b * batch.seq));
+        }
+        let p = self.nsp_pooler.forward(&first_tokens, ctx);
+        let p = self.nsp_act.forward(&p, ctx);
+        let nsp_logits = self.nsp_classifier.forward(&p, ctx);
+        let nsp = cross_entropy_loss(&nsp_logits, &batch.nsp_targets);
+
+        self.cache = Some((mlm_logits, nsp_logits));
+        PreTrainingOutput {
+            total_loss: mlm.loss + nsp.loss,
+            mlm_loss: mlm.loss,
+            nsp_loss: nsp.loss,
+            mlm_count: mlm.count,
+        }
+    }
+
+    /// Backpropagates both heads, returning the hidden-state gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a pending [`PreTrainingHead::forward`].
+    pub fn backward(&mut self, batch: &PreTrainingBatch) -> Matrix {
+        let (mlm_logits, nsp_logits) = self
+            .cache
+            .take()
+            .expect("PreTrainingHead::backward before forward");
+        let batch_size = batch.batch_size();
+        let dmlm_logits = cross_entropy_backward(&mlm_logits, &batch.mlm_targets);
+        let dt = self.mlm_decoder.backward(&dmlm_logits);
+        let dt = self.mlm_ln.backward(&dt);
+        let dt = self.mlm_act.backward(&dt);
+        let mut dhidden = self.mlm_transform.backward(&dt);
+
+        let dnsp_logits = cross_entropy_backward(&nsp_logits, &batch.nsp_targets);
+        let dp = self.nsp_classifier.backward(&dnsp_logits);
+        let dp = self.nsp_act.backward(&dp);
+        let dfirst = self.nsp_pooler.backward(&dp);
+        for b in 0..batch_size {
+            let dst = dhidden.row_mut(b * batch.seq);
+            for (d, &g) in dst.iter_mut().zip(dfirst.row(b).iter()) {
+                *d += g;
+            }
+        }
+        dhidden
+    }
+
+    /// Visits head parameters in the monolithic model's order.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        self.mlm_transform.visit_params(f);
+        self.mlm_ln.visit_params(f);
+        self.mlm_decoder.visit_params(f);
+        self.nsp_pooler.visit_params(f);
+        self.nsp_classifier.visit_params(f);
+    }
+
+    /// Visits the head's K-FAC-eligible linears (transform + pooler).
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        f(&mut self.mlm_transform);
+        f(&mut self.nsp_pooler);
+    }
+}
+
+/// What a stage's forward pass produces.
+#[derive(Debug)]
+pub enum StageOutput {
+    /// Boundary activations for the next stage (`batch·seq × d_model`).
+    Boundary(Matrix),
+    /// The last stage's losses (the head ran).
+    Losses(PreTrainingOutput),
+}
+
+/// One contiguous pipeline stage: optionally the embeddings, a run of
+/// encoder blocks, and optionally the pretraining heads.
+#[derive(Debug, Clone)]
+pub struct BertStage {
+    embedding: Option<Embedding>,
+    blocks: Vec<TransformerBlock>,
+    head: Option<PreTrainingHead>,
+}
+
+impl BertStage {
+    /// Whether this stage hosts the input embeddings (stage 0).
+    pub fn has_embedding(&self) -> bool {
+        self.embedding.is_some()
+    }
+
+    /// Whether this stage hosts the pretraining heads (last stage).
+    pub fn has_head(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// Number of encoder blocks in this stage.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs the stage forward. Stage 0 takes `None` and reads the batch's
+    /// token ids; later stages take the previous stage's boundary
+    /// activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` presence does not match the stage's position
+    /// (embedding stages take `None`, others take `Some`).
+    pub fn forward(
+        &mut self,
+        input: Option<Matrix>,
+        batch: &PreTrainingBatch,
+        ctx: &ForwardCtx,
+    ) -> StageOutput {
+        let ctx = ctx.with_seq_len(batch.seq);
+        let mut h = match (&mut self.embedding, input) {
+            (Some(emb), None) => emb.forward(&batch.token_ids, &batch.segment_ids, batch.seq, &ctx),
+            (None, Some(x)) => x,
+            (Some(_), Some(_)) => panic!("BertStage::forward: embedding stage got an input"),
+            (None, None) => panic!("BertStage::forward: non-embedding stage needs an input"),
+        };
+        for block in &mut self.blocks {
+            h = block.forward(&h, &ctx);
+        }
+        match &mut self.head {
+            Some(head) => StageOutput::Losses(head.forward(&h, batch, &ctx)),
+            None => StageOutput::Boundary(h),
+        }
+    }
+
+    /// Runs the stage backward. The last stage takes `None` (the head
+    /// generates the loss gradient); earlier stages take the downstream
+    /// boundary gradient. Returns the gradient for the upstream stage, or
+    /// `None` from stage 0 (the embeddings absorb it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dout` presence does not match the stage's position.
+    pub fn backward(&mut self, dout: Option<Matrix>, batch: &PreTrainingBatch) -> Option<Matrix> {
+        let mut d = match (&mut self.head, dout) {
+            (Some(head), None) => head.backward(batch),
+            (None, Some(d)) => d,
+            (Some(_), Some(_)) => panic!("BertStage::backward: head stage got a gradient"),
+            (None, None) => panic!("BertStage::backward: non-head stage needs a gradient"),
+        };
+        for block in self.blocks.iter_mut().rev() {
+            d = block.backward(&d);
+        }
+        match &mut self.embedding {
+            Some(emb) => {
+                emb.backward(&d);
+                None
+            }
+            None => Some(d),
+        }
+    }
+
+    /// Visits this stage's parameters, in the monolithic model's order
+    /// restricted to this stage.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        if let Some(emb) = &mut self.embedding {
+            emb.visit_params(f);
+        }
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+        if let Some(head) = &mut self.head {
+            head.visit_params(f);
+        }
+    }
+
+    /// Visits this stage's K-FAC-eligible linears, in the monolithic
+    /// model's order restricted to this stage.
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        for block in &mut self.blocks {
+            block.visit_linears(f);
+        }
+        if let Some(head) = &mut self.head {
+            head.visit_linears(f);
+        }
+    }
+
+    /// Zeroes this stage's gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.scale_inplace(0.0));
+    }
+}
+
+/// A [`BertForPreTraining`] split into `D` contiguous pipeline stages.
+///
+/// Stage `i` owns encoder blocks `[i·L/D, (i+1)·L/D)`; stage 0 additionally
+/// owns the embeddings and the last stage the pretraining heads. Stages may
+/// own zero blocks when `D > L`. Iterating stages in order visits every
+/// parameter in exactly the monolithic model's `visit_params` order.
+#[derive(Debug, Clone)]
+pub struct StagedBert {
+    config: BertConfig,
+    stages: Vec<BertStage>,
+}
+
+impl StagedBert {
+    /// Splits `model` into `n_stages` contiguous stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stages == 0`.
+    pub fn from_model(model: BertForPreTraining, n_stages: usize) -> Self {
+        assert!(n_stages > 0, "StagedBert: n_stages must be positive");
+        let parts = model.into_parts();
+        let l = parts.blocks.len();
+        let mut blocks = parts.blocks.into_iter();
+        let head = PreTrainingHead {
+            mlm_transform: parts.mlm_transform,
+            mlm_act: parts.mlm_act,
+            mlm_ln: parts.mlm_ln,
+            mlm_decoder: parts.mlm_decoder,
+            nsp_pooler: parts.nsp_pooler,
+            nsp_act: parts.nsp_act,
+            nsp_classifier: parts.nsp_classifier,
+            cache: None,
+        };
+        let mut embedding = Some(parts.embedding);
+        let mut head = Some(head);
+        let stages = (0..n_stages)
+            .map(|i| {
+                let (start, end) = (i * l / n_stages, (i + 1) * l / n_stages);
+                BertStage {
+                    embedding: if i == 0 { embedding.take() } else { None },
+                    blocks: blocks.by_ref().take(end - start).collect(),
+                    head: if i == n_stages - 1 { head.take() } else { None },
+                }
+            })
+            .collect();
+        StagedBert {
+            config: parts.config,
+            stages,
+        }
+    }
+
+    /// Reassembles the monolithic model; the exact inverse of
+    /// [`StagedBert::from_model`].
+    pub fn into_model(self) -> BertForPreTraining {
+        let mut embedding = None;
+        let mut head = None;
+        let mut blocks = Vec::new();
+        for stage in self.stages {
+            if stage.embedding.is_some() {
+                embedding = stage.embedding;
+            }
+            blocks.extend(stage.blocks);
+            if stage.head.is_some() {
+                head = stage.head;
+            }
+        }
+        let head = head.expect("StagedBert: missing head stage");
+        BertForPreTraining::from_parts(PreTrainingParts {
+            config: self.config,
+            embedding: embedding.expect("StagedBert: missing embedding stage"),
+            blocks,
+            mlm_transform: head.mlm_transform,
+            mlm_act: head.mlm_act,
+            mlm_ln: head.mlm_ln,
+            mlm_decoder: head.mlm_decoder,
+            nsp_pooler: head.nsp_pooler,
+            nsp_act: head.nsp_act,
+            nsp_classifier: head.nsp_classifier,
+        })
+    }
+
+    /// Encoder hyperparameters.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Borrows stage `s`.
+    pub fn stage(&self, s: usize) -> &BertStage {
+        &self.stages[s]
+    }
+
+    /// Mutably borrows stage `s`.
+    pub fn stage_mut(&mut self, s: usize) -> &mut BertStage {
+        &mut self.stages[s]
+    }
+
+    /// Removes stage `s`, leaving an empty placeholder (used by the
+    /// executor to move stages onto worker threads).
+    pub fn take_stage(&mut self, s: usize) -> BertStage {
+        std::mem::replace(
+            &mut self.stages[s],
+            BertStage {
+                embedding: None,
+                blocks: Vec::new(),
+                head: None,
+            },
+        )
+    }
+
+    /// Puts a stage back into slot `s` (inverse of [`Self::take_stage`]).
+    pub fn put_stage(&mut self, s: usize, stage: BertStage) {
+        self.stages[s] = stage;
+    }
+
+    /// Visits every parameter in the monolithic model's order.
+    pub fn visit_params(&mut self, f: ParamVisitor<'_>) {
+        for stage in &mut self.stages {
+            stage.visit_params(f);
+        }
+    }
+
+    /// Visits every K-FAC-eligible linear in the monolithic model's order.
+    pub fn visit_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        for stage in &mut self.stages {
+            stage.visit_linears(f);
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.grad.scale_inplace(0.0));
+    }
+
+    /// Runs one forward + backward over all stages in dependency order,
+    /// accumulating gradients — the single-thread reference the pipeline
+    /// executor must match bitwise. Mirrors
+    /// [`BertForPreTraining::train_step`].
+    pub fn train_step(&mut self, batch: &PreTrainingBatch, ctx: &ForwardCtx) -> PreTrainingOutput {
+        let mut boundary = None;
+        let mut out = None;
+        for stage in &mut self.stages {
+            match stage.forward(boundary.take(), batch, ctx) {
+                StageOutput::Boundary(h) => boundary = Some(h),
+                StageOutput::Losses(o) => out = Some(o),
+            }
+        }
+        let out = out.expect("StagedBert: no head stage ran");
+        let mut dout = None;
+        for stage in self.stages.iter_mut().rev() {
+            dout = stage.backward(dout.take(), batch);
+        }
+        assert!(
+            dout.is_none(),
+            "StagedBert: gradient left over after stage 0"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_batch(seq: usize, batch: usize, vocab: usize) -> PreTrainingBatch {
+        let n = seq * batch;
+        PreTrainingBatch {
+            token_ids: (0..n).map(|i| i % vocab).collect(),
+            segment_ids: (0..n).map(|i| ((i % seq) >= seq / 2) as usize).collect(),
+            mlm_targets: (0..n)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        (i % vocab) as i64
+                    } else {
+                        crate::IGNORE_INDEX
+                    }
+                })
+                .collect(),
+            nsp_targets: (0..batch).map(|b| (b % 2) as i64).collect(),
+            seq,
+        }
+    }
+
+    fn model(seed: u64, config: BertConfig) -> BertForPreTraining {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BertForPreTraining::new(config, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_params() {
+        for d in [1, 2, 3, 4, 7] {
+            let mut mono = model(5, BertConfig::tiny(20, 8));
+            let mut names = Vec::new();
+            mono.visit_params(&mut |p| names.push(p.name.clone()));
+            let staged = StagedBert::from_model(mono, d);
+            let mut back = staged.into_model();
+            let mut names2 = Vec::new();
+            back.visit_params(&mut |p| names2.push(p.name.clone()));
+            assert_eq!(names, names2, "d={d}");
+        }
+    }
+
+    #[test]
+    fn staged_visit_order_matches_monolithic() {
+        let mut mono = model(6, BertConfig::mini(24, 8));
+        let mut mono_names = Vec::new();
+        mono.visit_params(&mut |p| mono_names.push(p.name.clone()));
+        let mut mono_lin = Vec::new();
+        mono.visit_linears(&mut |l| mono_lin.push(l.name().to_string()));
+        let mut staged = StagedBert::from_model(mono, 3);
+        let mut staged_names = Vec::new();
+        staged.visit_params(&mut |p| staged_names.push(p.name.clone()));
+        let mut staged_lin = Vec::new();
+        staged.visit_linears(&mut |l| staged_lin.push(l.name().to_string()));
+        assert_eq!(mono_names, staged_names);
+        assert_eq!(mono_lin, staged_lin);
+    }
+
+    #[test]
+    fn staged_train_step_is_bitwise_monolithic() {
+        let batch = toy_batch(8, 3, 20);
+        for d in [1, 2, 4] {
+            let mut mono = model(7, BertConfig::mini(20, 8));
+            let mut staged = StagedBert::from_model(model(7, BertConfig::mini(20, 8)), d);
+            mono.zero_grad();
+            staged.zero_grad();
+            let o1 = mono.train_step(&batch, &ForwardCtx::train_with_capture());
+            let o2 = staged.train_step(&batch, &ForwardCtx::train_with_capture());
+            assert_eq!(o1.total_loss.to_bits(), o2.total_loss.to_bits(), "d={d}");
+            let mut mono_grads = Vec::new();
+            mono.visit_params(&mut |p| mono_grads.push(p.grad.clone()));
+            let mut idx = 0;
+            staged.visit_params(&mut |p| {
+                assert_eq!(
+                    p.grad.as_slice(),
+                    mono_grads[idx].as_slice(),
+                    "d={d} param {}",
+                    p.name
+                );
+                idx += 1;
+            });
+        }
+    }
+
+    #[test]
+    fn stage_partition_covers_all_blocks() {
+        let mono = model(8, BertConfig::mini(20, 8));
+        let staged = StagedBert::from_model(mono, 4);
+        assert_eq!(staged.n_stages(), 4);
+        let total: usize = (0..4).map(|s| staged.stage(s).n_blocks()).sum();
+        assert_eq!(total, 4);
+        assert!(staged.stage(0).has_embedding());
+        assert!(staged.stage(3).has_head());
+        assert!(!staged.stage(1).has_embedding() && !staged.stage(1).has_head());
+    }
+
+    #[test]
+    fn more_stages_than_blocks_is_ok() {
+        // tiny has 2 blocks; D=4 leaves two stages with pass-through blocks.
+        let batch = toy_batch(8, 2, 20);
+        let mut mono = model(9, BertConfig::tiny(20, 8));
+        let mut staged = StagedBert::from_model(model(9, BertConfig::tiny(20, 8)), 4);
+        let o1 = mono.train_step(&batch, &ForwardCtx::train());
+        let o2 = staged.train_step(&batch, &ForwardCtx::train());
+        assert_eq!(o1.total_loss.to_bits(), o2.total_loss.to_bits());
+    }
+}

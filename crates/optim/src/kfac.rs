@@ -182,6 +182,16 @@ impl KfacModel for Linear {
     }
 }
 
+impl KfacModel for pipefisher_nn::StagedBert {
+    fn visit_kfac_linears(&mut self, f: &mut dyn FnMut(&mut Linear)) {
+        self.visit_linears(f);
+    }
+
+    fn visit_all_params(&mut self, f: ParamVisitor<'_>) {
+        self.visit_params(f);
+    }
+}
+
 /// The K-FAC optimizer, wrapping a fallback first-order optimizer.
 ///
 /// One [`Kfac::step`]:
@@ -230,6 +240,114 @@ impl<O: Optimizer> Kfac<O> {
     /// pipeline simulator's staleness model).
     pub fn state_mut(&mut self, layer_name: &str) -> &mut LayerKfacState {
         self.states.entry(layer_name.to_string()).or_default()
+    }
+
+    /// The optimizer's hyperparameters.
+    pub fn config(&self) -> &KfacConfig {
+        &self.config
+    }
+
+    /// Whether the *next* [`Kfac::step`] (or [`Kfac::step_preconditioned`])
+    /// will be a curvature-refresh step. The pipeline executor asks this
+    /// before a step to decide whether to capture statistics and schedule
+    /// fold work units into bubbles.
+    pub fn next_step_refreshes_curvature(&self) -> bool {
+        self.t.is_multiple_of(self.config.curvature_interval as u64)
+    }
+
+    /// Whether the next step will be an inversion-refresh step.
+    pub fn next_step_refreshes_inversion(&self) -> bool {
+        self.t.is_multiple_of(self.config.inversion_interval as u64)
+    }
+
+    /// Removes and returns a layer's state (creating a default one if
+    /// absent) so the pipeline executor can loan it to a stage worker for
+    /// bubble-filled fold/inversion work. Pair with [`Kfac::put_state`].
+    pub fn take_state(&mut self, layer_name: &str) -> LayerKfacState {
+        self.states.remove(layer_name).unwrap_or_default()
+    }
+
+    /// Returns a loaned layer state after external fold/inversion work.
+    pub fn put_state(&mut self, layer_name: &str, state: LayerKfacState) {
+        self.states.insert(layer_name.to_string(), state);
+    }
+
+    /// Runs one optimization step *assuming curvature and inversion refreshes
+    /// already happened externally* (via [`fold_curvature_a`],
+    /// [`fold_curvature_b`], and [`refresh_inverses`] on states loaned out
+    /// with [`Kfac::take_state`]). Performs only phases 3–4 of
+    /// [`Kfac::step`]: preconditioning, KL clipping, and the fallback
+    /// update. Given identical factor states, the result is bitwise
+    /// identical to [`Kfac::step`] — the refresh work units are the very
+    /// same operations `step` would have run in-line.
+    pub fn step_preconditioned(&mut self, model: &mut dyn KfacModel, lr: f64) {
+        self.t += 1;
+
+        let states = &mut self.states;
+        let mut slots: Vec<LayerSlot> = Vec::new();
+        model.visit_kfac_linears(&mut |lin: &mut Linear| {
+            if !states.contains_key(lin.name()) {
+                states.insert(lin.name().to_string(), LayerKfacState::default());
+            }
+            let state = std::mem::take(states.get_mut(lin.name()).expect("state just inserted"));
+            slots.push(LayerSlot {
+                lin: LinPtr(lin as *mut Linear),
+                state,
+                vdot: 0.0,
+            });
+        });
+
+        // Phase 3 only: stats were consumed (and cleared) by the external
+        // fold work; clearing here keeps parity with `step` for layers that
+        // captured but were never folded.
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .map(|slot| {
+                Box::new(move || {
+                    // SAFETY: each slot points at a distinct layer (the
+                    // visitor contract), and `model` is not touched while
+                    // tasks run.
+                    let lin = unsafe { &mut *slot.lin.0 };
+                    lin.kfac_stats_mut().clear();
+                    if slot.state.ready() {
+                        slot.vdot = precondition(&mut slot.state, lin);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        par::run_tasks(tasks);
+
+        let vsum: f64 = slots.iter().map(|s| s.vdot).fold(0.0, |acc, v| acc + v);
+        if let Some(kappa) = self.config.kl_clip {
+            let denom = lr * lr * vsum;
+            if denom > kappa {
+                let scale = (kappa / denom).sqrt();
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .iter_mut()
+                    .filter(|slot| slot.state.ready())
+                    .map(|slot| {
+                        Box::new(move || {
+                            // SAFETY: as above — disjoint layers.
+                            let lin = unsafe { &mut *slot.lin.0 };
+                            let (w, b, _) = lin.kfac_parts_mut();
+                            w.grad.scale_inplace(scale);
+                            b.grad.scale_inplace(scale);
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                par::run_tasks(tasks);
+            }
+        }
+
+        for slot in slots {
+            // SAFETY: tasks have joined; this is the only live alias.
+            let lin = unsafe { &*slot.lin.0 };
+            *states.get_mut(lin.name()).expect("state entry exists") = slot.state;
+        }
+
+        self.fallback.begin_step();
+        let fallback = &mut self.fallback;
+        model.visit_all_params(&mut |p: &mut Parameter| fallback.step_param(p, lr));
     }
 
     /// Runs one optimization step. See the type-level docs for the phases.
@@ -290,7 +408,7 @@ impl<O: Optimizer> Kfac<O> {
                     }
                     lin.kfac_stats_mut().clear();
                     if refresh_inv && slot.state.factor_a.is_some() {
-                        update_inverses(
+                        refresh_inverses(
                             &mut slot.state,
                             config.damping,
                             config.factor_block_size,
@@ -359,43 +477,91 @@ struct LayerSlot {
     vdot: f64,
 }
 
-/// Folds a layer's captured batch statistics into its Kronecker factors.
-fn update_curvature(state: &mut LayerKfacState, lin: &mut Linear, ema_decay: f64, t: u64) {
-    let stats = lin.kfac_stats();
-    let (Some(acts), Some(errs)) = (&stats.activations, &stats.errors) else {
-        return; // nothing captured this step
-    };
-    let n = acts.rows().max(1) as f64;
-    // A = âᵀâ / n (mean over tokens). The backward pass propagates mean-loss
-    // gradients, so per-token error signals carry a 1/n factor; B = n·eᵀe
-    // restores the ⟨e eᵀ⟩ scale of the sum-loss errors the paper defines.
-    // (Any fixed rescaling is absorbed into damping/lr; we pick the
-    // convention used by KAISA and kfac-pytorch.)
-    //
-    // Both Gram products land in the shared `batch` scratch and are folded
-    // into the factors by copy, so a refresh allocates nothing once the
-    // buffers exist.
-    let fold = |old: &mut Option<Matrix>, batch: &Matrix| match old {
+/// Folds a fresh batch Gram matrix into a (possibly absent) factor: EMA
+/// when `ema_decay > 0`, replacement otherwise.
+fn fold_factor(old: &mut Option<Matrix>, batch: &Matrix, ema_decay: f64) {
+    match old {
         Some(prev) if ema_decay > 0.0 => {
             prev.scale_inplace(ema_decay);
             prev.axpy(1.0 - ema_decay, batch);
         }
         Some(prev) => prev.clone_from(batch),
         None => *old = Some(batch.clone()),
+    }
+}
+
+/// Folds a layer's captured *activation* statistics into Kronecker factor
+/// `A` — the schedulable `Curvature(A)` work unit the pipeline executor
+/// runs inside a bubble. A no-op when nothing was captured. Only the
+/// forward-captured activations are needed, matching the paper's release
+/// rule (`A_l` work is released by the forward pass, §3.1).
+///
+/// A = âᵀâ / n (mean over tokens). The backward pass propagates mean-loss
+/// gradients, so per-token error signals carry a 1/n factor; B = n·eᵀe
+/// restores the ⟨e eᵀ⟩ scale of the sum-loss errors the paper defines.
+/// (Any fixed rescaling is absorbed into damping/lr; we pick the
+/// convention used by KAISA and kfac-pytorch.)
+///
+/// The Gram product lands in the shared `batch` scratch and is folded
+/// into the factor by copy, so a refresh allocates nothing once the
+/// buffers exist.
+pub fn fold_curvature_a(state: &mut LayerKfacState, lin: &Linear, ema_decay: f64, t: u64) {
+    let Some(acts) = &lin.kfac_stats().activations else {
+        return; // nothing captured this step
     };
+    let n = acts.rows().max(1) as f64;
     let batch = &mut state.scratch.batch;
     acts.gram_into(batch);
     batch.scale_inplace(1.0 / n);
-    fold(&mut state.factor_a, batch);
+    fold_factor(&mut state.factor_a, batch, ema_decay);
+    state.last_curvature_step = t;
+}
+
+/// Folds a layer's captured *error-signal* statistics into Kronecker factor
+/// `B` — the schedulable `Curvature(B)` work unit, released by the backward
+/// pass. See [`fold_curvature_a`] for the scaling convention; a no-op when
+/// nothing was captured.
+pub fn fold_curvature_b(state: &mut LayerKfacState, lin: &Linear, ema_decay: f64, t: u64) {
+    let stats = lin.kfac_stats();
+    let Some(errs) = &stats.errors else {
+        return; // nothing captured this step
+    };
+    let n = stats
+        .activations
+        .as_ref()
+        .map_or_else(|| errs.rows(), |a| a.rows())
+        .max(1) as f64;
+    let batch = &mut state.scratch.batch;
     errs.gram_into(batch);
     batch.scale_inplace(n);
-    fold(&mut state.factor_b, batch);
+    fold_factor(&mut state.factor_b, batch, ema_decay);
     state.last_curvature_step = t;
+}
+
+/// Folds a layer's captured batch statistics into its Kronecker factors
+/// (both halves, in `A`-then-`B` order — the order the executor's bubble
+/// schedule also preserves).
+fn update_curvature(state: &mut LayerKfacState, lin: &mut Linear, ema_decay: f64, t: u64) {
+    fold_curvature_a(state, lin, ema_decay, t);
+    fold_curvature_b(state, lin, ema_decay, t);
 }
 
 /// Recomputes the damped inverses of both factors (π-split damping),
 /// optionally after the Appendix A.2 block-diagonal masking.
-fn update_inverses(state: &mut LayerKfacState, damping: f64, block_size: Option<usize>, t: u64) {
+///
+/// Public as the schedulable *inversion* work unit: the pipeline executor
+/// runs it per layer inside bubbles. Both factors are inverted together
+/// because the π-split couples their damping, and the fresh inverses commit
+/// only if *both* factorizations succeed — splitting `Inversion(A)` from
+/// `Inversion(B)` would break that both-or-nothing semantics. A no-op when
+/// a factor is missing (nothing captured yet), matching [`Kfac::step`]'s
+/// `factor_a.is_some()` guard.
+pub fn refresh_inverses(
+    state: &mut LayerKfacState,
+    damping: f64,
+    block_size: Option<usize>,
+    t: u64,
+) {
     let (Some(fa), Some(fb)) = (&state.factor_a, &state.factor_b) else {
         return;
     };
@@ -774,6 +940,87 @@ mod tests {
         let full = run(None);
         let covered = run(Some(64));
         assert!((&full - &covered).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_work_units_match_inline_step_bitwise() {
+        // Drive the fold/invert work units externally (the way the pipeline
+        // executor does on stage workers) and finish with
+        // `step_preconditioned`; the parameters must be bitwise identical to
+        // the all-in-one `step` path at every step, including non-refresh
+        // steps that reuse stale inverses.
+        let config = KfacConfig {
+            curvature_interval: 2,
+            inversion_interval: 3,
+            ema_decay: 0.5,
+            ..Default::default()
+        };
+        let run = |external: bool| -> (Matrix, Matrix) {
+            let mut rng = StdRng::seed_from_u64(33);
+            let mut lin = Linear::new("fc", 5, 3, &mut rng);
+            let x = init::normal(12, 5, 1.0, &mut rng);
+            let targets: Vec<i64> = (0..12).map(|i| (i % 3) as i64).collect();
+            let mut kfac = Kfac::new(config.clone(), Sgd::new(0.0, 0.0));
+            for step in 0..7u64 {
+                use pipefisher_nn::Layer as _;
+                lin.zero_grad();
+                let refresh_curv = kfac.next_step_refreshes_curvature();
+                let refresh_inv = kfac.next_step_refreshes_inversion();
+                assert_eq!(refresh_curv, step.is_multiple_of(2));
+                assert_eq!(refresh_inv, step.is_multiple_of(3));
+                let ctx = if !external || refresh_curv {
+                    ForwardCtx::train_with_capture()
+                } else {
+                    ForwardCtx::train()
+                };
+                let logits = lin.forward(&x, &ctx);
+                let d = cross_entropy_backward(&logits, &targets);
+                let _ = lin.backward(&d);
+                if external {
+                    let t = kfac.step_count() + 1;
+                    let mut state = kfac.take_state("fc");
+                    if refresh_curv {
+                        fold_curvature_a(&mut state, &lin, config.ema_decay, t);
+                        fold_curvature_b(&mut state, &lin, config.ema_decay, t);
+                        lin.kfac_stats_mut().clear();
+                    }
+                    if refresh_inv && state.factor_a.is_some() {
+                        refresh_inverses(&mut state, config.damping, config.factor_block_size, t);
+                    }
+                    kfac.put_state("fc", state);
+                    kfac.step_preconditioned(&mut lin, 0.1);
+                } else {
+                    kfac.step(&mut lin, 0.1);
+                }
+            }
+            (lin.weight().value.clone(), lin.bias().value.clone())
+        };
+        let (w_inline, b_inline) = run(false);
+        let (w_ext, b_ext) = run(true);
+        assert_eq!(
+            w_inline
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            w_ext
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            b_inline
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b_ext
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ mod sgd;
 mod shampoo;
 
 pub use adam::Adam;
-pub use kfac::{Kfac, KfacConfig, KfacModel, KfacScratch, LayerKfacState};
+pub use kfac::{
+    fold_curvature_a, fold_curvature_b, refresh_inverses, Kfac, KfacConfig, KfacModel, KfacScratch,
+    LayerKfacState,
+};
 pub use lamb::Lamb;
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;

@@ -14,8 +14,15 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use pipefisher::nn::{cross_entropy_backward, ForwardCtx, Layer, Linear};
+use pipefisher::lm::{
+    BatchSampler, OptimizerChoice, PipelineOptions, StepMetrics, SyntheticLanguage, TrainOptions,
+    Trainer,
+};
+use pipefisher::nn::{
+    cross_entropy_backward, BertConfig, BertForPreTraining, ForwardCtx, Layer, Linear,
+};
 use pipefisher::optim::{Kfac, KfacConfig, Sgd};
+use pipefisher::pipeline::PipelineScheme;
 use pipefisher::tensor::{cholesky_inverse_into, init, workspace, Matrix};
 use pipefisher::trace::alloc_snapshot;
 use rand::rngs::StdRng;
@@ -207,5 +214,85 @@ fn kfac_steady_state_is_near_allocation_free() {
         with_pool * 2 <= without_pool,
         "workspace on: {with_pool} allocs over {steady_steps} steady steps; \
          off: {without_pool} — expected ≥2× reduction"
+    );
+}
+
+fn tiny_trainer(seed: u64) -> (Trainer, BertForPreTraining) {
+    let config = BertConfig::tiny(36, 16);
+    let lang = SyntheticLanguage::new(config.vocab_size, 2, 4, 11);
+    let sampler = BatchSampler::new(lang, config.max_seq);
+    let trainer = Trainer::new(
+        sampler,
+        8,
+        pipefisher::optim::LrSchedule::Constant(5e-3),
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = BertForPreTraining::new(config, 0.0, &mut rng);
+    (trainer, model)
+}
+
+fn refresh_every_step_kfac() -> OptimizerChoice {
+    OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            curvature_interval: 1,
+            inversion_interval: 1,
+            ..Default::default()
+        },
+    }
+}
+
+fn steady_allocs(rows: &[StepMetrics], warmup: usize) -> u64 {
+    rows[warmup..].iter().map(|r| r.allocs).sum()
+}
+
+/// The pipeline executor's steady-state allocation cost over the serial
+/// trainer is message plumbing only: channel nodes for the per-micro-batch
+/// activation/gradient/loss messages and the per-device command/`StepDone`
+/// exchanges, plus the small `Vec`s those messages carry. All matrices are
+/// recycled — parameter shuttles ping-pong between coordinator and workers,
+/// gradient sets return to per-stage pools, and the workers' kernel
+/// temporaries come from their thread-local workspace arenas. So per-step
+/// allocations must stay within a fixed constant of the serial loop's,
+/// independent of how many steps run.
+#[test]
+fn pipeline_executor_steady_state_allocs_are_serial_plus_constant() {
+    let _gate = Gate::acquire();
+    workspace::set_enabled(true);
+
+    let (steps, n_micro, warmup) = (6usize, 4usize, 3usize);
+    let choice = refresh_every_step_kfac();
+
+    let (mut trainer, mut model) = tiny_trainer(7);
+    let serial = trainer.run_with_options(
+        &mut model,
+        &choice,
+        steps,
+        &TrainOptions {
+            accumulation_steps: n_micro,
+            grad_delay: 0,
+        },
+    );
+    let serial_steady = steady_allocs(&serial.metrics, warmup);
+
+    let (mut trainer, model) = tiny_trainer(7);
+    let opts = PipelineOptions::new(PipelineScheme::GPipe, 2, n_micro);
+    let outcome = trainer
+        .run_pipelined(model, &choice, steps, &opts)
+        .expect("pipelined run");
+    let pipelined_steady = steady_allocs(&outcome.run.metrics, warmup);
+
+    // Generous fixed per-step budget for the message plumbing (measured
+    // ~80 channel-node and small-Vec allocations per step for D = 2,
+    // N = 4); a matrix buffer slipping out of the recycling paths would
+    // add thousands per step and trip this immediately.
+    let per_step_overhead = 800;
+    let steady_steps = (steps - warmup) as u64;
+    assert!(
+        pipelined_steady <= serial_steady + per_step_overhead * steady_steps,
+        "pipelined steady state allocates too much: {pipelined_steady} vs \
+         serial {serial_steady} over {steady_steps} steps \
+         (budget +{per_step_overhead}/step)"
     );
 }

@@ -1,0 +1,240 @@
+//! Pipeline-executor equivalence and robustness tests.
+//!
+//! The executor's core claim (DESIGN.md §3.13): running the step on `D`
+//! stage worker threads — under any scheme, with bubbles filled by K-FAC
+//! work — produces a **bitwise identical** loss trajectory and final model
+//! to the single-thread `Trainer` loop. These tests check that claim for
+//! D ∈ {1, 2, 4} × {GPipe, 1F1B, Chimera} × {1, 4} compute threads, and
+//! that a panicking or wedged stage aborts the run with a clear error
+//! instead of deadlocking.
+
+use pipefisher::lm::{
+    BatchSampler, ExecError, OptimizerChoice, PipelineOptions, SyntheticLanguage, Trainer,
+};
+use pipefisher::nn::{BertConfig, BertForPreTraining};
+use pipefisher::optim::{KfacConfig, LrSchedule};
+use pipefisher::pipeline::PipelineScheme;
+use pipefisher::tensor::par;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serializes tests that touch the process-wide thread-count override.
+fn par_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup(config: &BertConfig, seed: u64) -> (Trainer, BertForPreTraining) {
+    let lang = SyntheticLanguage::new(config.vocab_size, 2, 4, 11);
+    let sampler = BatchSampler::new(lang, config.max_seq);
+    let trainer = Trainer::new(sampler, 8, LrSchedule::Constant(5e-3), seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = BertForPreTraining::new(config.clone(), 0.0, &mut rng);
+    (trainer, model)
+}
+
+fn kfac_choice() -> OptimizerChoice {
+    OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            damping: 3e-2,
+            ema_decay: 0.5,
+            curvature_interval: 2,
+            inversion_interval: 3,
+            kl_clip: Some(1e-2),
+            factor_block_size: None,
+        },
+    }
+}
+
+fn param_bits(model: &mut BertForPreTraining) -> Vec<u64> {
+    let mut bits = Vec::new();
+    model.visit_params(&mut |p| bits.extend(p.value.as_slice().iter().map(|v| v.to_bits())));
+    bits
+}
+
+/// Serial baseline at one compute thread: the reference trajectory every
+/// pipelined configuration must reproduce bit for bit.
+fn serial_reference(
+    config: &BertConfig,
+    choice: &OptimizerChoice,
+    steps: usize,
+    n_micro: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    par::set_max_threads(1);
+    let (mut trainer, mut model) = setup(config, 7);
+    let run = trainer.run_with_options(
+        &mut model,
+        choice,
+        steps,
+        &pipefisher::lm::TrainOptions {
+            accumulation_steps: n_micro,
+            grad_delay: 0,
+        },
+    );
+    par::set_max_threads(0);
+    let loss_bits = run.losses.iter().map(|l| l.to_bits()).collect();
+    (loss_bits, param_bits(&mut model))
+}
+
+fn pipelined_bits(
+    config: &BertConfig,
+    choice: &OptimizerChoice,
+    steps: usize,
+    opts: &PipelineOptions,
+    threads: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    par::set_max_threads(threads);
+    let (mut trainer, model) = setup(config, 7);
+    let outcome = trainer
+        .run_pipelined(model, choice, steps, opts)
+        .unwrap_or_else(|e| panic!("pipelined run failed ({} stages): {e}", opts.n_stages));
+    par::set_max_threads(0);
+    let loss_bits = outcome.run.losses.iter().map(|l| l.to_bits()).collect();
+    let mut model = outcome.model;
+    (loss_bits, param_bits(&mut model))
+}
+
+fn schemes_for(d: usize) -> Vec<PipelineScheme> {
+    let mut schemes = vec![PipelineScheme::GPipe, PipelineScheme::OneFOneB];
+    if d.is_multiple_of(2) {
+        schemes.push(PipelineScheme::Chimera);
+    }
+    schemes
+}
+
+#[test]
+fn pipelined_kfac_matches_serial_trainer_bitwise() {
+    let _gate = par_lock();
+    let (steps, n_micro) = (7, 4);
+    let choice = kfac_choice();
+    for (config, stage_counts) in [
+        (BertConfig::tiny(36, 16), vec![1usize, 2]),
+        (BertConfig::mini(36, 16), vec![4]),
+    ] {
+        let reference = serial_reference(&config, &choice, steps, n_micro);
+        for &d in &stage_counts {
+            for scheme in schemes_for(d) {
+                for threads in [1usize, 4] {
+                    // The 4-stage model is the expensive leg: cover both
+                    // thread counts on GPipe and keep one thread count for
+                    // the other schemes (whose orders are fully exercised
+                    // at D = 2).
+                    if d == 4 && threads == 1 && scheme != PipelineScheme::GPipe {
+                        continue;
+                    }
+                    let opts = PipelineOptions::new(scheme, d, n_micro);
+                    let got = pipelined_bits(&config, &choice, steps, &opts, threads);
+                    assert_eq!(
+                        got.0,
+                        reference.0,
+                        "loss trajectory diverged: {} D={d} threads={threads}",
+                        scheme.name()
+                    );
+                    assert_eq!(
+                        got.1,
+                        reference.1,
+                        "final parameters diverged: {} D={d} threads={threads}",
+                        scheme.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_lamb_matches_serial_trainer_bitwise() {
+    let _gate = par_lock();
+    let (steps, n_micro) = (5, 4);
+    let config = BertConfig::tiny(36, 16);
+    let choice = OptimizerChoice::Lamb { weight_decay: 0.01 };
+    let reference = serial_reference(&config, &choice, steps, n_micro);
+    for d in [1usize, 2] {
+        for scheme in schemes_for(d) {
+            for threads in [1usize, 4] {
+                let opts = PipelineOptions::new(scheme, d, n_micro);
+                let got = pipelined_bits(&config, &choice, steps, &opts, threads);
+                assert_eq!(
+                    got.0,
+                    reference.0,
+                    "loss trajectory diverged: {} D={d} threads={threads}",
+                    scheme.name()
+                );
+                assert_eq!(
+                    got.1,
+                    reference.1,
+                    "final parameters diverged: {} D={d} threads={threads}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+/// Bubble-filling off must not change the math — only when the K-FAC work
+/// runs within the step.
+#[test]
+fn unfilled_bubbles_produce_identical_results() {
+    let _gate = par_lock();
+    let (steps, n_micro) = (7, 4);
+    let config = BertConfig::tiny(36, 16);
+    let choice = kfac_choice();
+    let mut filled = PipelineOptions::new(PipelineScheme::OneFOneB, 2, n_micro);
+    filled.fill_bubbles = true;
+    let mut unfilled = filled.clone();
+    unfilled.fill_bubbles = false;
+    let a = pipelined_bits(&config, &choice, steps, &filled, 2);
+    let b = pipelined_bits(&config, &choice, steps, &unfilled, 2);
+    assert_eq!(a.0, b.0, "losses depend on bubble filling");
+    assert_eq!(a.1, b.1, "parameters depend on bubble filling");
+}
+
+#[test]
+fn injected_panic_aborts_with_stage_panic_error() {
+    let _gate = par_lock();
+    let config = BertConfig::tiny(36, 16);
+    let (mut trainer, model) = setup(&config, 3);
+    let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, 4);
+    opts.inject_panic = Some((1, 1));
+    opts.watchdog = Duration::from_secs(10);
+    let err = trainer
+        .run_pipelined(model, &kfac_choice(), 4, &opts)
+        .expect_err("injected panic must abort the run");
+    match err {
+        ExecError::StagePanic { device, message } => {
+            assert_eq!(device, 1, "fault attributed to the wrong device");
+            assert!(
+                message.contains("injected fault"),
+                "panic payload lost: {message}"
+            );
+        }
+        other => panic!("expected StagePanic, got: {other}"),
+    }
+}
+
+#[test]
+fn wedged_stage_trips_the_watchdog() {
+    let _gate = par_lock();
+    let config = BertConfig::tiny(36, 16);
+    let (mut trainer, model) = setup(&config, 4);
+    let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, 4);
+    opts.inject_stall = Some((1, 0));
+    opts.watchdog = Duration::from_millis(250);
+    let err = trainer
+        .run_pipelined(
+            model,
+            &OptimizerChoice::Lamb { weight_decay: 0.01 },
+            2,
+            &opts,
+        )
+        .expect_err("a wedged stage must abort the run");
+    assert!(
+        matches!(err, ExecError::Wedged { .. }),
+        "expected Wedged, got: {err}"
+    );
+}
