@@ -64,12 +64,119 @@ pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Rejects scheme × shape pairs the builders cannot represent (they would
+/// otherwise panic deep in the graph builder): Chimera's two bidirectional
+/// pipelines need an even stage count and an even micro-batch count.
+pub fn validate_scheme_shape(
+    scheme: PipelineScheme,
+    d: usize,
+    n_micro: usize,
+) -> Result<(), String> {
+    if d == 0 {
+        return Err("pipeline stages must be >= 1".into());
+    }
+    if n_micro == 0 {
+        return Err("micro-batches must be >= 1".into());
+    }
+    if scheme == PipelineScheme::Chimera {
+        if !d.is_multiple_of(2) {
+            return Err(format!(
+                "scheme chimera needs an even stage count (got {d}): its two \
+                 bidirectional pipelines split the devices in half"
+            ));
+        }
+        if !n_micro.is_multiple_of(2) {
+            return Err(format!(
+                "scheme chimera needs an even micro-batch count (got {n_micro}): \
+                 half run down, half run up"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Pipeline-execution options parsed from `train` flags. `Ok(None)` means
+/// no `--pipeline-stages` was given (single-thread training loop); pipeline
+/// flags without it are rejected instead of silently ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainPipeline {
+    /// Pipeline scheme (default GPipe).
+    pub scheme: PipelineScheme,
+    /// Stage / device count.
+    pub stages: usize,
+    /// Micro-batches per step (default 4).
+    pub n_micro: usize,
+    /// Whether bubbles are filled with K-FAC work (`--no-fill` clears it).
+    pub fill_bubbles: bool,
+}
+
+/// Parses `--pipeline-stages D [--scheme S] [--micro-batches N] [--no-fill]`.
+pub fn train_pipeline(argv: &[String]) -> Result<Option<TrainPipeline>, String> {
+    let Some(raw) = flag_value(argv, "--pipeline-stages") else {
+        for flag in ["--scheme", "--micro-batches"] {
+            if flag_value(argv, flag).is_some() {
+                return Err(format!("{flag} requires --pipeline-stages"));
+            }
+        }
+        if has_flag(argv, "--no-fill") {
+            return Err("--no-fill requires --pipeline-stages".into());
+        }
+        return Ok(None);
+    };
+    let stages: usize = raw
+        .parse()
+        .map_err(|_| format!("bad --pipeline-stages '{raw}'"))?;
+    let scheme = match flag_value(argv, "--scheme") {
+        Some(s) => self::scheme(s)?,
+        None => PipelineScheme::GPipe,
+    };
+    let n_micro: usize = flag_value(argv, "--micro-batches")
+        .map(|s| s.parse().map_err(|_| format!("bad --micro-batches '{s}'")))
+        .transpose()?
+        .unwrap_or(4);
+    validate_scheme_shape(scheme, stages, n_micro)?;
+    Ok(Some(TrainPipeline {
+        scheme,
+        stages,
+        n_micro,
+        fill_bubbles: !has_flag(argv, "--no-fill"),
+    }))
+}
+
+/// Parses `soak [N] [--seed S] [--threads T] [--out FILE]` into a
+/// harness config plus the report path (default `results/SOAK.json`).
+pub fn soak_config(argv: &[String]) -> Result<(pipefisher_harness::SoakConfig, String), String> {
+    let mut cfg = pipefisher_harness::SoakConfig::default();
+    if let Some(first) = argv.first().filter(|a| !a.starts_with("--")) {
+        cfg.scenarios = first
+            .parse()
+            .map_err(|_| format!("bad scenario count '{first}'"))?;
+    }
+    if let Some(s) = flag_value(argv, "--seed") {
+        cfg.base_seed = s.parse().map_err(|_| format!("bad --seed '{s}'"))?;
+    }
+    if let Some(t) = flag_value(argv, "--threads") {
+        let n: usize = t.parse().map_err(|_| format!("bad --threads '{t}'"))?;
+        if n == 0 {
+            return Err("--threads must be >= 1".into());
+        }
+        cfg.threads_override = Some(n);
+    }
+    let out = flag_value(argv, "--out")
+        .unwrap_or("results/SOAK.json")
+        .to_string();
+    Ok((cfg, out))
+}
+
 /// Builds the validated task graph a `<scheme> <D> <N_micro>` argument
 /// prefix describes, honoring `--recompute`, `--virtual V` (interleaved),
 /// and `--steps K` (async). Shared by `schedule` and `trace`.
 pub fn graph(argv: &[String]) -> Result<TaskGraph, String> {
     let d = int(argv, 1, "D")?;
     let n = int(argv, 2, "N_micro")?;
+    if let Some(name @ ("gpipe" | "1f1b" | "chimera")) = argv.first().map(String::as_str) {
+        validate_scheme_shape(scheme(name)?, d, n)?;
+    }
     let mut graph = match argv.first().map(String::as_str) {
         Some("interleaved") => {
             let v = flag_value(argv, "--virtual")
@@ -126,5 +233,155 @@ mod tests {
         assert!(!has_flag(&args, "--quiet"));
         assert_eq!(flag_value(&args, "--seed"), Some("42"));
         assert_eq!(flag_value(&args, "--nope"), None);
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn train_pipeline_round_trips_every_flag_combination() {
+        // No pipeline flags at all → single-thread loop.
+        assert_eq!(train_pipeline(&argv(&["kfac", "100"])).unwrap(), None);
+        // Defaults: gpipe, 4 micro-batches, bubbles filled.
+        assert_eq!(
+            train_pipeline(&argv(&["kfac", "100", "--pipeline-stages", "2"])).unwrap(),
+            Some(TrainPipeline {
+                scheme: PipelineScheme::GPipe,
+                stages: 2,
+                n_micro: 4,
+                fill_bubbles: true,
+            })
+        );
+        // Every flag at once.
+        assert_eq!(
+            train_pipeline(&argv(&[
+                "kfac",
+                "100",
+                "--pipeline-stages",
+                "4",
+                "--scheme",
+                "chimera",
+                "--micro-batches",
+                "8",
+                "--no-fill",
+            ]))
+            .unwrap(),
+            Some(TrainPipeline {
+                scheme: PipelineScheme::Chimera,
+                stages: 4,
+                n_micro: 8,
+                fill_bubbles: false,
+            })
+        );
+        for scheme_name in ["gpipe", "1f1b", "chimera"] {
+            let parsed = train_pipeline(&argv(&[
+                "lamb",
+                "10",
+                "--pipeline-stages",
+                "2",
+                "--scheme",
+                scheme_name,
+                "--micro-batches",
+                "2",
+            ]))
+            .unwrap()
+            .unwrap();
+            assert_eq!(parsed.scheme, scheme(scheme_name).unwrap());
+        }
+    }
+
+    #[test]
+    fn train_pipeline_rejects_invalid_pairs() {
+        // Chimera with an odd stage or micro-batch count.
+        for bad in [
+            argv(&["kfac", "9", "--pipeline-stages", "3", "--scheme", "chimera"]),
+            argv(&[
+                "kfac",
+                "9",
+                "--pipeline-stages",
+                "2",
+                "--scheme",
+                "chimera",
+                "--micro-batches",
+                "3",
+            ]),
+        ] {
+            let err = train_pipeline(&bad).unwrap_err();
+            assert!(err.contains("chimera"), "unhelpful error: {err}");
+        }
+        // Zero counts, junk numbers, unknown scheme.
+        assert!(train_pipeline(&argv(&["kfac", "9", "--pipeline-stages", "0"])).is_err());
+        assert!(train_pipeline(&argv(&[
+            "kfac",
+            "9",
+            "--pipeline-stages",
+            "2",
+            "--micro-batches",
+            "0"
+        ]))
+        .is_err());
+        assert!(train_pipeline(&argv(&["kfac", "9", "--pipeline-stages", "two"])).is_err());
+        assert!(train_pipeline(&argv(&[
+            "kfac",
+            "9",
+            "--pipeline-stages",
+            "2",
+            "--scheme",
+            "zigzag"
+        ]))
+        .is_err());
+        // Pipeline flags without --pipeline-stages are not silently ignored.
+        assert!(train_pipeline(&argv(&["kfac", "9", "--scheme", "gpipe"])).is_err());
+        assert!(train_pipeline(&argv(&["kfac", "9", "--micro-batches", "4"])).is_err());
+        assert!(train_pipeline(&argv(&["kfac", "9", "--no-fill"])).is_err());
+    }
+
+    #[test]
+    fn graph_rejects_odd_chimera_instead_of_panicking() {
+        assert!(graph(&argv(&["chimera", "3", "4"])).is_err());
+        assert!(graph(&argv(&["chimera", "4", "3"])).is_err());
+        assert!(graph(&argv(&["chimera", "4", "4"])).is_ok());
+        assert!(graph(&argv(&["gpipe", "3", "5"])).is_ok());
+    }
+
+    #[test]
+    fn graph_round_trips_schedule_flags() {
+        assert!(graph(&argv(&["1f1b", "4", "8", "--recompute"])).is_ok());
+        assert!(graph(&argv(&["interleaved", "4", "8", "--virtual", "2"])).is_ok());
+        assert!(graph(&argv(&["async", "2", "4", "--steps", "3"])).is_ok());
+        assert!(graph(&argv(&["interleaved", "4", "8", "--virtual", "x"])).is_err());
+        assert!(graph(&argv(&["async", "2", "4", "--steps", "x"])).is_err());
+        assert!(graph(&argv(&["nope", "2", "4"])).is_err());
+        assert!(graph(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn soak_config_round_trips_every_flag() {
+        // Defaults.
+        let (cfg, out) = soak_config(&argv(&[])).unwrap();
+        assert_eq!(cfg.scenarios, 32);
+        assert_eq!(cfg.base_seed, 0);
+        assert_eq!(out, "results/SOAK.json");
+        // Positional count plus every flag.
+        let (cfg, out) = soak_config(&argv(&[
+            "64",
+            "--seed",
+            "17",
+            "--threads",
+            "2",
+            "--out",
+            "X.json",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.scenarios, 64);
+        assert_eq!(cfg.base_seed, 17);
+        assert_eq!(cfg.threads_override, Some(2));
+        assert_eq!(out, "X.json");
+        // Invalid values.
+        assert!(soak_config(&argv(&["lots"])).is_err());
+        assert!(soak_config(&argv(&["--seed", "x"])).is_err());
+        assert!(soak_config(&argv(&["--threads", "0"])).is_err());
+        assert!(soak_config(&argv(&["--threads", "x"])).is_err());
     }
 }

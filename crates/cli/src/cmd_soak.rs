@@ -1,0 +1,37 @@
+//! `pipefisher soak` — run a block of seeded chaos scenarios through the
+//! conformance harness and write a `SOAK.json` report.
+
+use crate::args;
+use pipefisher_harness::{run_soak, soak_report_json};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (cfg, out) = args::soak_config(argv)?;
+    let summary = run_soak(&cfg);
+    let json = serde_json::to_string_pretty(&soak_report_json(&cfg, &summary)).expect("soak json");
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("creating '{out}': {e}"))?;
+        }
+    }
+    args::write_file(&out, &json)?;
+    eprintln!(
+        "soak: {} scenarios (seeds {}..{}), {} clean, {} faulted-as-expected, \
+         {} events conform, {} oracles trained — report in {out}",
+        summary.total,
+        cfg.base_seed,
+        cfg.base_seed + summary.total as u64,
+        summary.clean,
+        summary.faulted,
+        summary.events_checked,
+        summary.oracles,
+    );
+    if summary.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} scenario(s) violated the harness contract; each failure above \
+             embeds its reproducing seed (replay with `pipefisher soak 1 --seed <seed>`)",
+            summary.failures.len()
+        ))
+    }
+}

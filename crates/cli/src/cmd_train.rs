@@ -53,27 +53,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         total_steps: steps,
         power: 0.5,
     };
-    let pipeline_stages: Option<usize> = args::flag_value(args, "--pipeline-stages")
-        .map(|s| {
-            s.parse()
-                .map_err(|_| format!("bad --pipeline-stages '{s}'"))
-        })
-        .transpose()?;
+    let pipeline = args::train_pipeline(args)?;
 
     let mut trainer = Trainer::new(sampler, 16, schedule, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = BertForPreTraining::new(BertConfig::tiny(68, 16), 0.0, &mut rng);
-    let run = if let Some(d) = pipeline_stages {
-        let scheme = match args::flag_value(args, "--scheme") {
-            Some(s) => args::scheme(s)?,
-            None => pipefisher_pipeline::PipelineScheme::GPipe,
-        };
-        let n_micro = args::flag_value(args, "--micro-batches")
-            .map(|s| s.parse().map_err(|_| format!("bad --micro-batches '{s}'")))
-            .transpose()?
-            .unwrap_or(4);
-        let mut opts = PipelineOptions::new(scheme, d, n_micro);
-        opts.fill_bubbles = !args::has_flag(args, "--no-fill");
+    let run = if let Some(p) = pipeline {
+        let mut opts = PipelineOptions::new(p.scheme, p.stages, p.n_micro);
+        opts.fill_bubbles = p.fill_bubbles;
         let outcome = trainer
             .run_pipelined(model, &choice, steps, &opts)
             .map_err(|e| e.to_string())?;
@@ -81,9 +68,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         eprintln!(
             "pipeline: {} stages, {} micro-batches, scheme {}, bubbles \
              {:.0} ms ({:.0}% filled with K-FAC work, {:.0} ms tail)",
-            d,
-            n_micro,
-            scheme.name(),
+            p.stages,
+            p.n_micro,
+            p.scheme.name(),
             busy,
             if busy > 0.0 {
                 100.0 * outcome.bubble_aux_ms / busy

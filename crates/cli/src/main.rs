@@ -7,6 +7,7 @@
 //! pipefisher model    <arch> <hw> <D> <B_micro> [--json]
 //! pipefisher train    <lamb|kfac> <steps> [--seed N] [--trace-out FILE] [--metrics-out FILE] [--workspace on|off]
 //!                     [--pipeline-stages D] [--scheme S] [--micro-batches N] [--no-fill]
+//! pipefisher soak     [N] [--seed S] [--threads T] [--out FILE]
 //! pipefisher sweep    <arch> [--json]
 //! ```
 
@@ -14,6 +15,7 @@ mod args;
 mod cmd_assign;
 mod cmd_model;
 mod cmd_schedule;
+mod cmd_soak;
 mod cmd_sweep;
 mod cmd_trace;
 mod cmd_train;
@@ -57,6 +59,13 @@ USAGE:
         serializes that work after the stage's pipeline work instead.
         Losses are bitwise identical to the single-thread loop either way.
 
+    pipefisher soak [N] [--seed S] [--threads T] [--out FILE]
+        Run N seeded chaos scenarios (default 32, seeds S..S+N) against the
+        pipeline executor: fault-free runs are checked for plan conformance
+        and bitwise parity with the serial trainer, injected faults must
+        surface as the right error. Writes a SOAK.json report (default
+        results/SOAK.json); any failure embeds its reproducing seed.
+
     pipefisher sweep <arch> [--json]
         (curvature+inversion)/bubble ratio across D, B_micro, and hardware.
 
@@ -71,6 +80,7 @@ fn main() -> ExitCode {
         Some("assign") => cmd_assign::run(&argv[1..]),
         Some("model") => cmd_model::run(&argv[1..]),
         Some("train") => cmd_train::run(&argv[1..]),
+        Some("soak") => cmd_soak::run(&argv[1..]),
         Some("sweep") => cmd_sweep::run(&argv[1..]),
         Some("--help" | "-h" | "help") | None => {
             println!("{USAGE}");

@@ -111,7 +111,58 @@ pub struct ExecutablePlan {
     pub capture_host: Vec<usize>,
 }
 
+/// The events one training step of an [`ExecutablePlan`] must produce — the
+/// conformance oracle a real execution is checked against.
+///
+/// Pipeline ops are *ordered* per device (the executor runs its `DevicePlan`
+/// in program order); K-FAC aux units are a per-device *set*: the executor
+/// may pop them in any readiness-respecting order (that freedom is exactly
+/// what bubble filling exploits), but each applicable unit must run exactly
+/// once, on its capture-host device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedStep {
+    /// Per device: pipeline ops in required execution order.
+    pub ops: Vec<Vec<PlanOp>>,
+    /// Per device: the K-FAC units this step must execute (unordered).
+    pub aux: Vec<Vec<AuxOp>>,
+}
+
+impl ExpectedStep {
+    /// Total expected events across all devices.
+    pub fn total_events(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum::<usize>() + self.aux.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
 impl ExecutablePlan {
+    /// Expands this plan into the per-step event oracle for a step with the
+    /// given K-FAC cadence: `kfac` false (first-order step) expects no aux
+    /// work at all; otherwise fold units apply iff the step refreshes
+    /// curvature and invert units iff it refreshes the inverses (units for
+    /// phases a step does not refresh are skipped by the executor without
+    /// running — there is nothing to compute).
+    pub fn expected_step(&self, kfac: bool, refresh_curv: bool, refresh_inv: bool) -> ExpectedStep {
+        let ops = self.devices.iter().map(|d| d.ops.clone()).collect();
+        let aux = self
+            .devices
+            .iter()
+            .map(|d| {
+                if !kfac {
+                    return Vec::new();
+                }
+                d.aux
+                    .iter()
+                    .filter(|op| match op.kind {
+                        AuxKind::FoldA | AuxKind::FoldB => refresh_curv,
+                        AuxKind::Invert => refresh_inv,
+                    })
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        ExpectedStep { ops, aux }
+    }
+
     /// Lowers a task graph into per-device plans.
     ///
     /// Aux (K-FAC) work comes from `schedule` when given: curvature
@@ -421,6 +472,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn expected_step_filters_aux_by_refresh_phase() {
+        let plan = lower_scheme(PipelineScheme::OneFOneB, 4, 4);
+        let full = plan.expected_step(true, true, true);
+        // Pipeline ops are the per-device programs verbatim, every step.
+        for (dev, dp) in plan.devices.iter().enumerate() {
+            assert_eq!(full.ops[dev], dp.ops);
+        }
+        let total_aux: usize = full.aux.iter().map(Vec::len).sum();
+        assert_eq!(total_aux, 4 * 3 * 2, "2 chunks x 3 kinds x 4 stages");
+
+        let curv_only = plan.expected_step(true, true, false);
+        assert!(curv_only
+            .aux
+            .iter()
+            .flatten()
+            .all(|op| matches!(op.kind, AuxKind::FoldA | AuxKind::FoldB)));
+        let inv_only = plan.expected_step(true, false, true);
+        assert!(inv_only
+            .aux
+            .iter()
+            .flatten()
+            .all(|op| op.kind == AuxKind::Invert));
+        assert_eq!(
+            curv_only.aux.iter().map(Vec::len).sum::<usize>()
+                + inv_only.aux.iter().map(Vec::len).sum::<usize>(),
+            total_aux
+        );
+
+        let first_order = plan.expected_step(false, true, true);
+        assert_eq!(first_order.aux.iter().map(Vec::len).sum::<usize>(), 0);
+        assert_eq!(
+            first_order.total_events(),
+            first_order.ops.iter().map(Vec::len).sum::<usize>()
+        );
     }
 
     #[test]

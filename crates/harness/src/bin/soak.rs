@@ -1,0 +1,54 @@
+//! Standalone soak runner: `soak [N] [--seed S] [--out PATH]`.
+//!
+//! Runs `N` seeded chaos scenarios (default 32) starting at seed `S`
+//! (default 0) and writes a `SOAK.json` artifact (default
+//! `results/SOAK.json`). Exits non-zero if any scenario violated its
+//! contract; every failure line embeds the reproducing seed.
+
+use pipefisher_harness::{run_soak, soak_report_json, SoakConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let mut cfg = SoakConfig::default();
+    let mut out = PathBuf::from("results/SOAK.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                cfg.base_seed = v.parse().expect("--seed must be a u64");
+            }
+            "--out" => out = PathBuf::from(args.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!("usage: soak [N] [--seed S] [--out PATH]");
+                return;
+            }
+            n => cfg.scenarios = n.parse().unwrap_or_else(|_| panic!("bad argument: {n}")),
+        }
+    }
+    let summary = run_soak(&cfg);
+    let report = soak_report_json(&cfg, &summary);
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create report directory");
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write report");
+    eprintln!(
+        "soak: {}/{} scenarios ok ({} clean, {} faulted, {} events checked) -> {}",
+        summary.total - summary.failures.len(),
+        summary.total,
+        summary.clean,
+        summary.faulted,
+        summary.events_checked,
+        out.display()
+    );
+    if !summary.passed() {
+        for f in &summary.failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

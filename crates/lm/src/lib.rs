@@ -30,5 +30,7 @@ pub use causal::{train_causal_lm, CausalSampler};
 pub use corpus::SyntheticLanguage;
 pub use data::{special_tokens, BatchSampler};
 pub use metrics::{to_jsonl, StepMetrics};
-pub use pipeline::{ExecError, PipelineOptions, PipelineOutcome};
+pub use pipeline::{
+    default_watchdog, plan_for, ChaosHook, ExecError, PipelineOptions, PipelineOutcome, StepFault,
+};
 pub use trainer::{OptimizerChoice, TrainOptions, TrainRun, Trainer};

@@ -52,6 +52,7 @@ use pipefisher_optim::{fold_curvature_a, fold_curvature_b, refresh_inverses, Lay
 use pipefisher_pipeline::PipelineScheme;
 use pipefisher_sim::KindCost;
 use pipefisher_tensor::Matrix;
+use serde_json::json;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -62,8 +63,49 @@ use std::time::{Duration, Instant};
 /// PipeFisher schedule is available (it then dictates its own granularity).
 const AUX_GRANULARITY: usize = 2;
 
+/// A fault a [`ChaosHook`] injects at the start of a device's step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepFault {
+    /// Panic the worker (exercises the abort latch / `StagePanic` path).
+    Panic,
+    /// Wedge the worker — spin without progress until the watchdog (or an
+    /// earlier fault) trips the abort latch.
+    Stall,
+}
+
+/// Pluggable fault/clock injection for the pipeline executor.
+///
+/// Every callback is keyed on *logical* coordinates — `(device, step)`,
+/// plan-op index, aux-pickup ordinal — never wall-clock time, so a hook
+/// driven by a seeded plan (`pipefisher-harness`'s `FaultPlan`) injects the
+/// same faults on every replay of the same seed. Hooks may perturb *timing*
+/// (delays, skewed aux pickup order) or *liveness* (panics, stalls), but
+/// have no access to data values: any run a hook does not abort must still
+/// be bitwise-identical to the serial trainer.
+pub trait ChaosHook: Send + Sync {
+    /// Consulted once when `device` begins `step`; returning a fault panics
+    /// or wedges the worker before any of the step's work runs.
+    fn step_fault(&self, _device: usize, _step: usize) -> Option<StepFault> {
+        None
+    }
+
+    /// Extra latency injected before `device` executes the `op_index`-th op
+    /// of its plan in `step` (slow-stage skew).
+    fn op_delay(&self, _device: usize, _step: usize, _op_index: usize) -> Option<Duration> {
+        None
+    }
+
+    /// When true, the `pickup`-th K-FAC aux pickup of `device` in `step`
+    /// skips the first *ready* unit and takes the next ready one instead
+    /// (out-of-order aux pickup; readiness rules still hold, so the math is
+    /// unchanged).
+    fn aux_skip_first_ready(&self, _device: usize, _step: usize, _pickup: usize) -> bool {
+        false
+    }
+}
+
 /// How a pipelined run is laid out and supervised.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PipelineOptions {
     /// Pipeline schedule shape (GPipe / 1F1B / Chimera; Chimera needs an
     /// even stage count and an even micro-batch count).
@@ -77,26 +119,49 @@ pub struct PipelineOptions {
     /// paper's "K-FAC on pipeline" baseline.
     pub fill_bubbles: bool,
     /// No worker (or the coordinator) may go this long without progress
-    /// before the run aborts with [`ExecError::Wedged`].
+    /// before the run aborts with [`ExecError::Wedged`]. Defaults to
+    /// `PIPEFISHER_WATCHDOG_MS` (milliseconds) when set, else 30 s; raise
+    /// it for chaos runs whose injected delays exceed the default.
     pub watchdog: Duration,
-    /// Test hook: panic on `(device, step)` at step start.
-    pub inject_panic: Option<(usize, usize)>,
-    /// Test hook: wedge `(device, step)` (spin without progress) so the
-    /// watchdog path is exercised.
-    pub inject_stall: Option<(usize, usize)>,
+    /// Deterministic fault/clock injection (chaos testing); `None` runs
+    /// clean.
+    pub chaos: Option<Arc<dyn ChaosHook>>,
+}
+
+impl std::fmt::Debug for PipelineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineOptions")
+            .field("scheme", &self.scheme)
+            .field("n_stages", &self.n_stages)
+            .field("n_micro", &self.n_micro)
+            .field("fill_bubbles", &self.fill_bubbles)
+            .field("watchdog", &self.watchdog)
+            .field("chaos", &self.chaos.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
+}
+
+/// The default wedge-watchdog timeout: `PIPEFISHER_WATCHDOG_MS` when set to
+/// a positive integer, else 30 seconds.
+pub fn default_watchdog() -> Duration {
+    std::env::var("PIPEFISHER_WATCHDOG_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(30))
 }
 
 impl PipelineOptions {
-    /// Bubble-filling defaults with a generous watchdog.
+    /// Bubble-filling defaults with the [`default_watchdog`] timeout.
     pub fn new(scheme: PipelineScheme, n_stages: usize, n_micro: usize) -> Self {
         PipelineOptions {
             scheme,
             n_stages,
             n_micro,
             fill_bubbles: true,
-            watchdog: Duration::from_secs(30),
-            inject_panic: None,
-            inject_stall: None,
+            watchdog: default_watchdog(),
+            chaos: None,
         }
     }
 }
@@ -291,6 +356,20 @@ fn make_schedule(scheme: PipelineScheme, d: usize, n_micro: usize) -> Option<Pip
     .ok()
 }
 
+/// The exact [`ExecutablePlan`] [`Trainer::run_pipelined`] executes for
+/// `opts` — exposed so the conformance checker validates a run against the
+/// very plan that drove it, not a reconstruction.
+///
+/// # Panics
+///
+/// Panics if the scheme's shape rules are violated (e.g. Chimera with odd
+/// `n_stages` or `n_micro`), mirroring `run_pipelined`.
+pub fn plan_for(opts: &PipelineOptions) -> Result<ExecutablePlan, ExecError> {
+    let graph = opts.scheme.build(opts.n_stages, opts.n_micro);
+    let schedule = make_schedule(opts.scheme, opts.n_stages, opts.n_micro);
+    ExecutablePlan::lower(&graph, schedule.as_ref(), AUX_GRANULARITY).map_err(ExecError::Plan)
+}
+
 /// Global L2 gradient norm over a staged model (same parameter order as the
 /// monolithic model, so the sum is bitwise the serial one).
 fn staged_grad_norm(staged: &mut StagedBert) -> f64 {
@@ -354,10 +433,7 @@ impl Trainer {
         );
         assert!(opts.n_micro > 0, "run_pipelined: n_micro must be positive");
         let (d, n_micro) = (opts.n_stages, opts.n_micro);
-        let graph = opts.scheme.build(d, n_micro);
-        let schedule = make_schedule(opts.scheme, d, n_micro);
-        let plan = ExecutablePlan::lower(&graph, schedule.as_ref(), AUX_GRANULARITY)
-            .map_err(ExecError::Plan)?;
+        let plan = plan_for(opts)?;
         let n_devices = plan.devices.len();
 
         let mut staged = StagedBert::from_model(model, d);
@@ -449,13 +525,13 @@ impl Trainer {
                 results: res_tx.clone(),
                 abort: Arc::clone(&abort),
                 watchdog: opts.watchdog,
-                inject_panic: opts.inject_panic,
-                inject_stall: opts.inject_stall,
+                chaos: opts.chaos.clone(),
                 pending: HashMap::new(),
                 shuttles: HashMap::new(),
                 grad_pools: HashMap::new(),
                 loaned: HashMap::new(),
                 aux_done: Vec::new(),
+                aux_pickups: 0,
                 fwd_cap: vec![false; d],
                 bwd_cap: vec![false; d],
                 bubble_aux_ms: 0.0,
@@ -713,8 +789,7 @@ struct Worker {
     results: mpsc::Sender<WorkerMsg>,
     abort: Arc<Abort>,
     watchdog: Duration,
-    inject_panic: Option<(usize, usize)>,
-    inject_stall: Option<(usize, usize)>,
+    chaos: Option<Arc<dyn ChaosHook>>,
     /// Arrived-but-unconsumed boundary tensors, keyed `(is_grad, stage, mb)`.
     pending: HashMap<(bool, usize, usize), Matrix>,
     /// Per-step loans from the coordinator, keyed by stage.
@@ -723,6 +798,8 @@ struct Worker {
     loaned: HashMap<usize, Vec<LayerKfacState>>,
     /// Per-step aux progress.
     aux_done: Vec<bool>,
+    /// Aux units picked up so far this step (the chaos hook's pickup key).
+    aux_pickups: usize,
     fwd_cap: Vec<bool>,
     bwd_cap: Vec<bool>,
     bubble_aux_ms: f64,
@@ -768,24 +845,36 @@ impl Worker {
     }
 
     fn run_step(&mut self, cmd: &mut StepCmd) -> Result<(), Halt> {
-        if self.inject_panic == Some((self.device, cmd.step)) {
-            panic!(
+        match self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.step_fault(self.device, cmd.step))
+        {
+            Some(StepFault::Panic) => panic!(
                 "injected fault: device {} at step {}",
                 self.device, cmd.step
-            );
-        }
-        if self.inject_stall == Some((self.device, cmd.step)) {
-            // Wedge without progress until someone (the watchdog) aborts.
-            while !self.abort.is_tripped() {
-                std::thread::sleep(Duration::from_millis(2));
+            ),
+            Some(StepFault::Stall) => {
+                // Wedge without progress until someone (the watchdog) aborts.
+                while !self.abort.is_tripped() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return Err(Halt);
             }
-            return Err(Halt);
+            None => {}
         }
         self.begin_step(cmd);
         let plan = Arc::clone(&self.plan);
-        for op in &plan.ops {
+        for (op_index, op) in plan.ops.iter().enumerate() {
             if self.abort.is_tripped() {
                 return Err(Halt);
+            }
+            if let Some(delay) = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.op_delay(self.device, cmd.step, op_index))
+            {
+                self.chaos_sleep(delay)?;
             }
             match *op {
                 PlanOp::Forward {
@@ -829,12 +918,32 @@ impl Worker {
         }
         self.aux_done.clear();
         self.aux_done.resize(self.plan.aux.len(), false);
+        self.aux_pickups = 0;
         self.fwd_cap.iter_mut().for_each(|f| *f = false);
         self.bwd_cap.iter_mut().for_each(|f| *f = false);
         self.bubble_aux_ms = 0.0;
         self.bubble_idle_ms = 0.0;
         self.tail_aux_ms = 0.0;
         self.last_progress = Instant::now();
+    }
+
+    /// Sleeps out an injected delay in abort-aware slices. The wait is
+    /// intentional, so the worker's own progress clock resets afterwards;
+    /// peers blocked on this device's output still see the skew and wedge
+    /// if it exceeds their watchdog.
+    fn chaos_sleep(&mut self, delay: Duration) -> Result<(), Halt> {
+        let until = Instant::now() + delay;
+        loop {
+            if self.abort.is_tripped() {
+                return Err(Halt);
+            }
+            let now = Instant::now();
+            if now >= until {
+                self.last_progress = Instant::now();
+                return Ok(());
+            }
+            std::thread::sleep((until - now).min(Duration::from_millis(2)));
+        }
     }
 
     fn do_forward(
@@ -852,7 +961,16 @@ impl Worker {
         };
         let (batch, ctx) = &cmd.batches[mb];
         let out = {
-            let _span = pipefisher_trace::span("forward", "pipeline");
+            let device = self.device;
+            let _span = pipefisher_trace::span_with("forward", "pipeline", || {
+                vec![
+                    ("step".to_string(), json!(cmd.step)),
+                    ("device".to_string(), json!(device)),
+                    ("stage".to_string(), json!(stage)),
+                    ("mb".to_string(), json!(mb)),
+                    ("slot".to_string(), json!(slot)),
+                ]
+            });
             let host = self.hosts.get_mut(&stage).expect("forward on hosted stage");
             host.replicas[slot].forward(input, batch, ctx)
         };
@@ -899,7 +1017,16 @@ impl Worker {
         };
         let (batch, _ctx) = &cmd.batches[mb];
         let upstream = {
-            let _span = pipefisher_trace::span("backward", "pipeline");
+            let device = self.device;
+            let _span = pipefisher_trace::span_with("backward", "pipeline", || {
+                vec![
+                    ("step".to_string(), json!(cmd.step)),
+                    ("device".to_string(), json!(device)),
+                    ("stage".to_string(), json!(stage)),
+                    ("mb".to_string(), json!(mb)),
+                    ("slot".to_string(), json!(slot)),
+                ]
+            });
             let host = self
                 .hosts
                 .get_mut(&stage)
@@ -1078,9 +1205,14 @@ impl Worker {
         }
     }
 
-    /// Runs the first K-FAC unit whose inputs are ready; returns whether
+    /// Runs the first K-FAC unit whose inputs are ready (or, under a chaos
+    /// hook's out-of-order pickup, the second ready one); returns whether
     /// any work was done. Units for phases the step does not refresh are
     /// marked done without running (there is nothing to compute).
+    ///
+    /// Reordering among *ready* units is bitwise-safe: ready units touch
+    /// disjoint per-layer state, and an inversion only becomes ready once
+    /// every fold of its stage is done.
     fn try_aux_one(&mut self, cmd: &StepCmd) -> bool {
         let Some(kfac) = cmd.kfac.clone() else {
             return false;
@@ -1089,6 +1221,8 @@ impl Worker {
             return false;
         }
         let plan = Arc::clone(&self.plan);
+        let mut first_ready = None;
+        let mut second_ready = None;
         for (i, op) in plan.aux.iter().enumerate() {
             if self.aux_done[i] {
                 continue;
@@ -1120,14 +1254,33 @@ impl Worker {
             if !ready {
                 continue;
             }
-            self.aux_done[i] = true;
-            let t = Instant::now();
-            self.run_aux(op.stage, op.kind, op.chunk, op.chunks, &kfac);
-            self.bubble_aux_ms += t.elapsed().as_secs_f64() * 1e3;
-            self.last_progress = Instant::now();
-            return true;
+            if first_ready.is_none() {
+                first_ready = Some(i);
+            } else {
+                second_ready = Some(i);
+                break;
+            }
         }
-        false
+        let Some(first) = first_ready else {
+            return false;
+        };
+        let skip = self
+            .chaos
+            .as_ref()
+            .is_some_and(|c| c.aux_skip_first_ready(self.device, cmd.step, self.aux_pickups));
+        let chosen = if skip {
+            second_ready.unwrap_or(first)
+        } else {
+            first
+        };
+        self.aux_pickups += 1;
+        self.aux_done[chosen] = true;
+        let op = plan.aux[chosen];
+        let t = Instant::now();
+        self.run_aux(cmd.step, op.stage, op.kind, op.chunk, op.chunks, &kfac);
+        self.bubble_aux_ms += t.elapsed().as_secs_f64() * 1e3;
+        self.last_progress = Instant::now();
+        true
     }
 
     /// Executes one fold/invert unit over the chunk's slice of the stage's
@@ -1135,12 +1288,14 @@ impl Worker {
     /// optimizer's loaned layer states.
     fn run_aux(
         &mut self,
+        step: usize,
         stage: usize,
         kind: AuxKind,
         chunk: usize,
         chunks: usize,
         kfac: &KfacStep,
     ) {
+        let device = self.device;
         let Some(states) = self.loaned.get_mut(&stage) else {
             return; // no loan (e.g. another device's refresh already has it)
         };
@@ -1150,9 +1305,18 @@ impl Worker {
         let k_total = states.len();
         let lo = chunk * k_total / chunks;
         let hi = (chunk + 1) * k_total / chunks;
+        let aux_args = || {
+            vec![
+                ("step".to_string(), json!(step)),
+                ("device".to_string(), json!(device)),
+                ("stage".to_string(), json!(stage)),
+                ("chunk".to_string(), json!(chunk)),
+                ("chunks".to_string(), json!(chunks)),
+            ]
+        };
         match kind {
             AuxKind::FoldA => {
-                let _span = pipefisher_trace::span("curvature_a", "kfac");
+                let _span = pipefisher_trace::span_with("curvature_a", "kfac", aux_args);
                 let mut i = 0;
                 replica.visit_linears(&mut |lin| {
                     if i >= lo && i < hi {
@@ -1162,7 +1326,7 @@ impl Worker {
                 });
             }
             AuxKind::FoldB => {
-                let _span = pipefisher_trace::span("curvature_b", "kfac");
+                let _span = pipefisher_trace::span_with("curvature_b", "kfac", aux_args);
                 let mut i = 0;
                 replica.visit_linears(&mut |lin| {
                     if i >= lo && i < hi {
@@ -1172,7 +1336,7 @@ impl Worker {
                 });
             }
             AuxKind::Invert => {
-                let _span = pipefisher_trace::span("inversion", "kfac");
+                let _span = pipefisher_trace::span_with("inversion", "kfac", aux_args);
                 for state in &mut states[lo..hi] {
                     refresh_inverses(state, kfac.damping, kfac.block_size, kfac.t);
                 }

@@ -82,6 +82,19 @@ impl Shampoo {
     pub fn step_count(&self) -> u64 {
         self.t
     }
+
+    /// Accumulated statistics `(L, R)` for a parameter, if any.
+    pub fn statistics(&self, name: &str) -> Option<(&Matrix, &Matrix)> {
+        let st = self.states.get(name)?;
+        Some((st.l.as_ref()?, st.r.as_ref()?))
+    }
+
+    /// Inverse fourth roots `(L^{-1/4}, R^{-1/4})` for a parameter, if
+    /// computed.
+    pub fn root_factors(&self, name: &str) -> Option<(&Matrix, &Matrix)> {
+        let st = self.states.get(name)?;
+        Some((st.l_root.as_ref()?, st.r_root.as_ref()?))
+    }
 }
 
 impl Default for Shampoo {

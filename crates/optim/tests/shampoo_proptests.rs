@@ -1,0 +1,145 @@
+//! Property-based tests for Shampoo's structural invariants: the
+//! accumulated statistics and their inverse roots stay symmetric
+//! positive-(semi)definite, stepping is bitwise identical across compute
+//! thread counts, and degenerate (zero-sized) parameter shapes neither
+//! panic nor poison the state.
+
+use pipefisher_optim::{Optimizer, Shampoo, ShampooConfig};
+use pipefisher_tensor::{par, Matrix};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that touch the process-wide thread-count override.
+fn par_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn grad_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0..2.0f64, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d))
+}
+
+/// Quadratic form `vᵀ·M·v` for an `n`-vector given as an `n × 1` matrix.
+fn quad_form(m: &Matrix, v: &Matrix) -> f64 {
+    v.matmul_tn(&m.matmul(v)).as_slice()[0]
+}
+
+/// Deterministic probe vectors spanning a few directions in `R^n`.
+fn probes(n: usize) -> Vec<Matrix> {
+    let mut out = Vec::new();
+    for k in 0..4usize {
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i * 7 + k * 13 + 1) % 11) as f64 / 11.0 - 0.4)
+            .collect();
+        out.push(Matrix::from_vec(n, 1, data));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After any gradient sequence, `L` and `R` are symmetric PSD (sums of
+    /// Gram matrices) and the inverse fourth roots are symmetric *strictly*
+    /// PD (eigenvalues floored at `eps` before the negative power).
+    #[test]
+    fn statistics_and_roots_stay_spd(
+        g1 in grad_strategy(4, 3),
+        g2 in grad_strategy(4, 3),
+    ) {
+        let mut opt = Shampoo::new(ShampooConfig::default());
+        let mut p = pipefisher_nn::Parameter::new("w", Matrix::zeros(4, 3));
+        for g in [&g1, &g2] {
+            p.grad = g.clone();
+            opt.begin_step();
+            opt.step_param(&mut p, 0.01);
+        }
+        let (l, r) = opt.statistics("w").expect("statistics exist after steps");
+        let (lr, rr) = opt.root_factors("w").expect("roots exist after steps");
+        for (m, n, label) in [(l, 4, "L"), (r, 3, "R")] {
+            prop_assert!(m.is_symmetric(1e-12), "{label} not symmetric");
+            for v in probes(n) {
+                prop_assert!(quad_form(m, &v) >= -1e-12, "{label} not PSD");
+            }
+        }
+        for (m, n, label) in [(lr, 4, "L^-1/4"), (rr, 3, "R^-1/4")] {
+            prop_assert!(m.is_symmetric(1e-9), "{label} not symmetric");
+            for v in probes(n) {
+                let vtv = quad_form(&Matrix::eye(n), &v);
+                prop_assert!(
+                    quad_form(m, &v) > 1e-12 * vtv,
+                    "{label} not strictly PD"
+                );
+            }
+        }
+    }
+
+    /// The Shampoo step — statistics folds, eigendecomposition roots, and
+    /// the two-sided preconditioning matmuls — must be bitwise identical
+    /// at 1 and 4 compute threads, like every other kernel in the repo.
+    #[test]
+    fn step_is_bitwise_identical_across_thread_counts(
+        g in grad_strategy(24, 16),
+        lr in 1e-3..0.5f64,
+    ) {
+        let _gate = par_lock();
+        let run = |threads: usize| -> Vec<u64> {
+            par::set_max_threads(threads);
+            let mut opt = Shampoo::new(ShampooConfig::default());
+            let mut p = pipefisher_nn::Parameter::new("w", Matrix::full(24, 16, 0.5));
+            for scale in [1.0, 0.5, 2.0] {
+                p.grad = g.scale(scale);
+                opt.begin_step();
+                opt.step_param(&mut p, lr);
+            }
+            par::set_max_threads(0);
+            p.value.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+        prop_assert_eq!(run(1), run(4));
+    }
+}
+
+/// Zero-sized parameters (0×0, 0×n, n×0) must step without panicking,
+/// leave finite (empty) state, and not disturb later real parameters.
+#[test]
+fn degenerate_zero_dim_shapes_are_harmless() {
+    let mut opt = Shampoo::new(ShampooConfig::default());
+    let shapes = [(0usize, 0usize), (0, 3), (3, 0)];
+    for step in 0..2 {
+        opt.begin_step();
+        for (i, &(r, c)) in shapes.iter().enumerate() {
+            let mut p = pipefisher_nn::Parameter::new(format!("z{i}"), Matrix::zeros(r, c));
+            p.grad = Matrix::zeros(r, c);
+            opt.step_param(&mut p, 0.1);
+            assert_eq!(p.value.shape(), (r, c), "shape changed on step {step}");
+            assert!(p.value.all_finite());
+        }
+        // A real parameter stepped alongside the degenerate ones behaves
+        // exactly as it would alone.
+        let mut p = pipefisher_nn::Parameter::new("w", Matrix::full(2, 2, 1.0));
+        p.grad = Matrix::full(2, 2, 0.5);
+        opt.step_param(&mut p, 0.1);
+        assert!(p.value.all_finite());
+        assert!(p.value.as_slice().iter().all(|&v| v < 1.0));
+    }
+}
+
+/// A 1×n row vector (bias/LayerNorm shape) exercises the 1×1-`L` diagonal
+/// fallback path without special casing.
+#[test]
+fn row_vector_parameters_step_finitely() {
+    let mut opt = Shampoo::new(ShampooConfig::default());
+    let mut p = pipefisher_nn::Parameter::new("b", Matrix::full(1, 5, 1.0));
+    for _ in 0..3 {
+        p.grad = Matrix::full(1, 5, 0.25);
+        opt.begin_step();
+        opt.step_param(&mut p, 0.1);
+    }
+    assert!(p.value.all_finite());
+    let (l, r) = opt.statistics("b").expect("statistics exist");
+    assert_eq!(l.shape(), (1, 1));
+    assert_eq!(r.shape(), (5, 5));
+}

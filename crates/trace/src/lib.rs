@@ -26,4 +26,4 @@ mod sink;
 
 pub use alloc::{alloc_counting_enabled, alloc_snapshot, AllocSnapshot};
 pub use chrome::{chrome_trace_json, Phase, TraceEvent};
-pub use sink::{counter, drain, enabled, set_enabled, span, Span};
+pub use sink::{counter, drain, enabled, set_enabled, span, span_with, Span};

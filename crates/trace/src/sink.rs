@@ -9,6 +9,7 @@
 //! by `thread_name` metadata for each recording thread.
 
 use crate::chrome::TraceEvent;
+use serde_json::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
@@ -94,13 +95,19 @@ pub struct Span {
     name: &'static str,
     cat: &'static str,
     start_us: f64,
+    args: Vec<(String, Value)>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         let end = now_us();
         let (name, cat, start) = (self.name, self.cat, self.start_us);
-        record(|tid| TraceEvent::slice(name, cat, start, end - start, HOST_PID, tid));
+        let args = std::mem::take(&mut self.args);
+        record(|tid| {
+            let mut ev = TraceEvent::slice(name, cat, start, end - start, HOST_PID, tid);
+            ev.args = args;
+            ev
+        });
     }
 }
 
@@ -115,6 +122,28 @@ pub fn span(name: &'static str, cat: &'static str) -> Option<Span> {
         name,
         cat,
         start_us: now_us(),
+        args: Vec::new(),
+    })
+}
+
+/// Like [`span`], but attaches structured `args` to the recorded slice —
+/// the metadata the conformance checker keys on (step, device, stage, …).
+/// `make_args` is only evaluated when tracing is enabled, so the hot path
+/// stays allocation-free while disabled.
+#[inline]
+pub fn span_with(
+    name: &'static str,
+    cat: &'static str,
+    make_args: impl FnOnce() -> Vec<(String, Value)>,
+) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(Span {
+        name,
+        cat,
+        start_us: now_us(),
+        args: make_args(),
     })
 }
 
@@ -179,6 +208,40 @@ mod tests {
             counter("noop", 1.0);
         }
         assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn span_with_attaches_args_when_enabled_only() {
+        let _guard = sink_lock();
+        set_enabled(false);
+        let _ = drain();
+        {
+            // Disabled: the args closure must not even run.
+            let _s = span_with("noop", "test", || panic!("args built while disabled"));
+        }
+        set_enabled(true);
+        {
+            let _s = span_with("op", "pipeline", || {
+                vec![
+                    ("stage".to_string(), serde_json::json!(2)),
+                    ("mb".to_string(), serde_json::json!(5)),
+                ]
+            });
+        }
+        set_enabled(false);
+        let events = drain();
+        let op = events
+            .iter()
+            .find(|e| e.name == "op")
+            .expect("span recorded");
+        let get = |k: &str| {
+            op.args
+                .iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_i64())
+        };
+        assert_eq!(get("stage"), Some(2));
+        assert_eq!(get("mb"), Some(5));
     }
 
     #[test]

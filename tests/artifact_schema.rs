@@ -1,0 +1,171 @@
+//! Schema validation for the committed bench artifacts (repo-root
+//! `BENCH_*.json` and `SOAK.json`, plus anything generated under
+//! `results/`): every artifact must carry the `bench` name, a
+//! `host_cores` count, and a `note` caveat (the repo's rule that a number
+//! without its measurement context is not a result), and every number in
+//! the tree must be finite.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// All committed bench artifacts: repo-root `BENCH_*.json` plus everything
+/// under `results/` ending in `.json`.
+fn artifacts() -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for dir in [repo_root(), repo_root().join("results")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".json") && (name.starts_with("BENCH_") || name == "SOAK.json") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn load(path: &Path) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {}: {e:?}", path.display()))
+}
+
+/// Recursively asserts every number in the tree is finite.
+fn assert_finite(v: &Value, path: &str) {
+    match v {
+        Value::Float(f) => assert!(f.is_finite(), "non-finite number at {path}"),
+        Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                assert_finite(item, &format!("{path}[{i}]"));
+            }
+        }
+        Value::Object(fields) => {
+            for (k, item) in fields {
+                assert_finite(item, &format!("{path}.{k}"));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn artifacts_exist() {
+    let found = artifacts();
+    let names: Vec<String> = found
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for required in ["BENCH_alloc.json", "BENCH_pipeline.json", "SOAK.json"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "missing committed artifact {required} (found: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn every_artifact_has_the_caveat_fields_and_finite_numbers() {
+    for path in artifacts() {
+        let v = load(&path);
+        let name = path.display();
+        assert!(
+            v.get("bench").and_then(Value::as_str).is_some(),
+            "{name}: missing string key 'bench'"
+        );
+        assert!(
+            v.get("host_cores").and_then(Value::as_i64).unwrap_or(0) >= 1,
+            "{name}: 'host_cores' must be a positive integer"
+        );
+        assert!(
+            v.get("note")
+                .and_then(Value::as_str)
+                .is_some_and(|s| !s.trim().is_empty()),
+            "{name}: missing non-empty 'note' caveat"
+        );
+        assert_finite(&v, &format!("{name}$"));
+    }
+}
+
+#[test]
+fn pipeline_bench_rows_have_required_keys() {
+    let v = load(&repo_root().join("BENCH_pipeline.json"));
+    let rows = v
+        .get("results")
+        .and_then(Value::as_array)
+        .expect("'results' array");
+    assert!(!rows.is_empty(), "empty results");
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "stages",
+            "scheme",
+            "unfilled_ms_per_step",
+            "filled_ms_per_step",
+        ] {
+            assert!(row.get(key).is_some(), "results[{i}]: missing '{key}'");
+        }
+        assert!(
+            row.get("stages").and_then(Value::as_i64).unwrap_or(0) >= 1,
+            "results[{i}]: bad stage count"
+        );
+    }
+}
+
+#[test]
+fn alloc_bench_has_required_sections() {
+    let v = load(&repo_root().join("BENCH_alloc.json"));
+    for key in ["baseline", "workspace_on", "workspace_off"] {
+        let section = v.get(key).unwrap_or_else(|| panic!("missing '{key}'"));
+        for sub in ["allocs_per_step", "bytes_per_step"] {
+            assert!(
+                section.get(sub).and_then(Value::as_i64).is_some(),
+                "'{key}.{sub}' must be an integer"
+            );
+        }
+    }
+}
+
+#[test]
+fn soak_report_recorded_a_passing_block() {
+    let v = load(&repo_root().join("SOAK.json"));
+    assert_eq!(v.get("bench").and_then(Value::as_str), Some("soak"));
+    for key in [
+        "base_seed",
+        "scenarios",
+        "clean",
+        "faulted",
+        "events_checked",
+    ] {
+        assert!(
+            v.get(key).and_then(Value::as_i64).is_some(),
+            "missing integer key '{key}'"
+        );
+    }
+    let scenarios = v.get("scenarios").and_then(Value::as_i64).unwrap();
+    let clean = v.get("clean").and_then(Value::as_i64).unwrap();
+    let faulted = v.get("faulted").and_then(Value::as_i64).unwrap();
+    assert!(scenarios >= 1);
+    assert_eq!(
+        clean + faulted,
+        scenarios,
+        "clean + faulted must cover every scenario (failures would break the sum)"
+    );
+    assert_eq!(v.get("passed").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        v.get("failures").and_then(Value::as_array).map(Vec::len),
+        Some(0),
+        "a committed soak report must have no contract violations"
+    );
+    // The note must tell a reader how to replay a failure.
+    assert!(v
+        .get("note")
+        .and_then(Value::as_str)
+        .is_some_and(|s| s.contains("seed")));
+}

@@ -8,8 +8,10 @@
 //! that a panicking or wedged stage aborts the run with a clear error
 //! instead of deadlocking.
 
+use pipefisher::harness::FaultPlan;
 use pipefisher::lm::{
-    BatchSampler, ExecError, OptimizerChoice, PipelineOptions, SyntheticLanguage, Trainer,
+    default_watchdog, BatchSampler, ExecError, OptimizerChoice, PipelineOptions, SyntheticLanguage,
+    Trainer,
 };
 use pipefisher::nn::{BertConfig, BertForPreTraining};
 use pipefisher::optim::{KfacConfig, LrSchedule};
@@ -17,7 +19,7 @@ use pipefisher::pipeline::PipelineScheme;
 use pipefisher::tensor::par;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 /// Serializes tests that touch the process-wide thread-count override.
@@ -200,7 +202,7 @@ fn injected_panic_aborts_with_stage_panic_error() {
     let config = BertConfig::tiny(36, 16);
     let (mut trainer, model) = setup(&config, 3);
     let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, 4);
-    opts.inject_panic = Some((1, 1));
+    opts.chaos = Some(Arc::new(FaultPlan::panic_at(1, 1)));
     opts.watchdog = Duration::from_secs(10);
     let err = trainer
         .run_pipelined(model, &kfac_choice(), 4, &opts)
@@ -217,13 +219,84 @@ fn injected_panic_aborts_with_stage_panic_error() {
     }
 }
 
+/// Chaos hook injecting one long delay into device 1's first op of step 0:
+/// slow-stage skew without any schedule change.
+struct SlowFirstOp(Duration);
+
+impl pipefisher::lm::ChaosHook for SlowFirstOp {
+    fn op_delay(&self, device: usize, step: usize, op_index: usize) -> Option<Duration> {
+        (device == 1 && step == 0 && op_index == 0).then_some(self.0)
+    }
+}
+
+/// Direction 1: a watchdog raised above the injected skew lets the run
+/// complete, and the skew changes nothing bitwise.
+#[test]
+fn raised_watchdog_tolerates_slow_stage_skew() {
+    let _gate = par_lock();
+    let (steps, n_micro) = (2, 2);
+    let config = BertConfig::tiny(36, 16);
+    let choice = OptimizerChoice::Lamb { weight_decay: 0.01 };
+    let reference = serial_reference(&config, &choice, steps, n_micro);
+    let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, n_micro);
+    opts.chaos = Some(Arc::new(SlowFirstOp(Duration::from_millis(400))));
+    opts.watchdog = Duration::from_secs(10);
+    let got = pipelined_bits(&config, &choice, steps, &opts, 1);
+    assert_eq!(got.0, reference.0, "skewed losses diverged");
+    assert_eq!(got.1, reference.1, "skewed parameters diverged");
+}
+
+/// Direction 2: the same skew with a watchdog below it aborts as Wedged
+/// instead of hanging.
+#[test]
+fn lowered_watchdog_trips_on_slow_stage_skew() {
+    let _gate = par_lock();
+    let config = BertConfig::tiny(36, 16);
+    let (mut trainer, model) = setup(&config, 5);
+    let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, 2);
+    opts.chaos = Some(Arc::new(SlowFirstOp(Duration::from_secs(2))));
+    opts.watchdog = Duration::from_millis(100);
+    let err = trainer
+        .run_pipelined(
+            model,
+            &OptimizerChoice::Lamb { weight_decay: 0.01 },
+            1,
+            &opts,
+        )
+        .expect_err("skew beyond the watchdog must abort");
+    assert!(
+        matches!(err, ExecError::Wedged { .. }),
+        "expected Wedged, got: {err}"
+    );
+}
+
+/// `PIPEFISHER_WATCHDOG_MS` configures the default watchdog; invalid or
+/// absent values fall back to 30 s. Under `par_lock` because the
+/// environment is process-global.
+#[test]
+fn watchdog_default_reads_env() {
+    let _gate = par_lock();
+    std::env::set_var("PIPEFISHER_WATCHDOG_MS", "1234");
+    assert_eq!(default_watchdog(), Duration::from_millis(1234));
+    assert_eq!(
+        PipelineOptions::new(PipelineScheme::GPipe, 2, 4).watchdog,
+        Duration::from_millis(1234)
+    );
+    std::env::set_var("PIPEFISHER_WATCHDOG_MS", "0");
+    assert_eq!(default_watchdog(), Duration::from_secs(30));
+    std::env::set_var("PIPEFISHER_WATCHDOG_MS", "not-a-number");
+    assert_eq!(default_watchdog(), Duration::from_secs(30));
+    std::env::remove_var("PIPEFISHER_WATCHDOG_MS");
+    assert_eq!(default_watchdog(), Duration::from_secs(30));
+}
+
 #[test]
 fn wedged_stage_trips_the_watchdog() {
     let _gate = par_lock();
     let config = BertConfig::tiny(36, 16);
     let (mut trainer, model) = setup(&config, 4);
     let mut opts = PipelineOptions::new(PipelineScheme::GPipe, 2, 4);
-    opts.inject_stall = Some((1, 0));
+    opts.chaos = Some(Arc::new(FaultPlan::stall_at(1, 0)));
     opts.watchdog = Duration::from_millis(250);
     let err = trainer
         .run_pipelined(
