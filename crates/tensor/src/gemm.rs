@@ -7,11 +7,13 @@
 //!   Kronecker factors (`A_l = U_A U_Aᵀ` computed as `Uᵀ·U` on row-major
 //!   per-token layouts),
 //! * `C = A·Bᵀ` ([`Matrix::matmul_nt`]) — input-gradient backprop,
-//! * a cache-blocked in-place accumulate used by all three.
+//! * `C = AᵀA` ([`Matrix::gram`]) — K-FAC's curvature kernel.
 //!
-//! The kernels use i-k-j loop order with a blocked inner loop, which is
-//! within a small factor of BLAS for the model sizes trained here and makes
-//! the whole stack dependency-free.
+//! All four (plus [`Matrix::matvec`]) are thin shape-handling wrappers over
+//! the packed, register-tiled, runtime-dispatched engine in
+//! [`crate::kernel`]: the transpose variants differ only in the packing
+//! gather ([`kernel::ASrc`]/[`kernel::BSrc`]), never in the inner loop, so
+//! every flavour runs the same SIMD micro-kernel at the same throughput.
 //!
 //! Every kernel exists in two forms: an `_into` variant that writes into a
 //! caller-provided output (re-dimensioning it via
@@ -24,17 +26,17 @@
 //!
 //! Each kernel partitions its **output rows** into disjoint contiguous
 //! chunks and runs one chunk per lane of the shared worker pool
-//! ([`crate::par`]). Every output element is produced by exactly one lane
-//! running the identical per-element accumulation loop the serial kernel
-//! uses (summation over `p` in ascending order), so results are bitwise
-//! identical to serial execution at any thread count. Inputs below the
-//! [`crate::par::par_threshold`] work estimate stay serial.
+//! ([`crate::par`]), with chunk seams aligned to [`kernel::ROW_ALIGN`] so
+//! lanes split on micro-panel boundaries. Every output element is produced
+//! by exactly one lane running the identical per-element accumulation
+//! chain the serial kernel uses (summation over `p` in ascending order),
+//! so results are bitwise identical to serial execution at any thread
+//! count. Inputs below the [`crate::par::par_threshold`] work estimate
+//! stay serial.
 
+use crate::kernel::{self, ASrc, BSrc};
 use crate::par;
 use crate::Matrix;
-
-/// Loop-blocking tile edge, chosen to keep three tiles in L1.
-const BLOCK: usize = 32;
 
 impl Matrix {
     /// Computes `self · rhs`.
@@ -83,10 +85,28 @@ impl Matrix {
         }
         let a = self.as_slice();
         let b = rhs.as_slice();
-        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n;
-            gemm_nn(&a[start * k..(start + rows) * k], b, chunk, rows, k, n);
-        });
+        par::par_chunks_mut_aligned(
+            out.as_mut_slice(),
+            m,
+            n,
+            kernel::ROW_ALIGN,
+            m * k * n,
+            |start, chunk| {
+                let rows = chunk.len() / n;
+                kernel::gemm_chunk(
+                    chunk,
+                    rows,
+                    n,
+                    k,
+                    ASrc::RowMajor {
+                        data: a,
+                        stride: k,
+                        base: start,
+                    },
+                    BSrc::RowMajor { data: b, stride: n },
+                );
+            },
+        );
     }
 
     /// Computes `selfᵀ · rhs` without materializing the transpose.
@@ -124,24 +144,34 @@ impl Matrix {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
-        // (AᵀB)[i][j] = Σ_p A[p][i]·B[p][j]; p is the outer loop so both
-        // operands stream row-major. Output rows i are chunked across
-        // lanes; every element still accumulates over p ascending.
+        // (AᵀB)[i][j] = Σ_p A[p][i]·B[p][j]: the transpose lives entirely
+        // in the column-major packing gather; the micro-kernel is the same
+        // one `matmul` runs, and every element still accumulates over p
+        // ascending.
         let a = self.as_slice();
         let b = rhs.as_slice();
-        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n;
-            for p in 0..k {
-                let arow = &a[p * m + start..p * m + start + rows];
-                let brow = &b[p * n..(p + 1) * n];
-                for (i, &av) in arow.iter().enumerate() {
-                    let orow = &mut chunk[i * n..(i + 1) * n];
-                    for (ov, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *ov += av * bv;
-                    }
-                }
-            }
-        });
+        par::par_chunks_mut_aligned(
+            out.as_mut_slice(),
+            m,
+            n,
+            kernel::ROW_ALIGN,
+            m * k * n,
+            |start, chunk| {
+                let rows = chunk.len() / n;
+                kernel::gemm_chunk(
+                    chunk,
+                    rows,
+                    n,
+                    k,
+                    ASrc::ColMajor {
+                        data: a,
+                        stride: m,
+                        base: start,
+                    },
+                    BSrc::RowMajor { data: b, stride: n },
+                );
+            },
+        );
     }
 
     /// Computes `self · rhsᵀ` without materializing the transpose.
@@ -179,23 +209,33 @@ impl Matrix {
         if m == 0 || n == 0 || k == 0 {
             return;
         }
+        // (ABᵀ)[i][j] = Σ_p A[i][p]·B[j][p]: B's rows become packed panel
+        // columns, turning the old dot-product loop (one element per k
+        // sweep) into full register tiles.
         let a = self.as_slice();
         let b = rhs.as_slice();
-        par::par_chunks_mut(out.as_mut_slice(), m, n, m * k * n, |start, chunk| {
-            let rows = chunk.len() / n;
-            for i in 0..rows {
-                let arow = &a[(start + i) * k..(start + i + 1) * k];
-                let orow = &mut chunk[i * n..(i + 1) * n];
-                for j in 0..n {
-                    let brow = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (av, bv) in arow.iter().zip(brow.iter()) {
-                        acc += av * bv;
-                    }
-                    orow[j] = acc;
-                }
-            }
-        });
+        par::par_chunks_mut_aligned(
+            out.as_mut_slice(),
+            m,
+            n,
+            kernel::ROW_ALIGN,
+            m * k * n,
+            |start, chunk| {
+                let rows = chunk.len() / n;
+                kernel::gemm_chunk(
+                    chunk,
+                    rows,
+                    n,
+                    k,
+                    ASrc::RowMajor {
+                        data: a,
+                        stride: k,
+                        base: start,
+                    },
+                    BSrc::ColMajor { data: b, stride: k },
+                );
+            },
+        );
     }
 
     /// Computes the symmetric Gram matrix `selfᵀ · self`.
@@ -223,31 +263,31 @@ impl Matrix {
         }
         let a = self.as_slice();
         let o = out.as_mut_slice();
-        par::par_chunks_mut_weighted(
+        par::par_chunks_mut_weighted_aligned(
             o,
             m,
             m,
+            kernel::ROW_ALIGN,
             k * m * (m + 1) / 2,
             |i| m - i,
             |start, chunk| {
                 let rows = chunk.len() / m;
-                for p in 0..k {
-                    let row = &a[p * m..(p + 1) * m];
-                    for i in 0..rows {
-                        let av = row[start + i];
-                        let orow = &mut chunk[i * m..(i + 1) * m];
-                        for j in (start + i)..m {
-                            orow[j] += av * row[j];
-                        }
-                    }
-                }
+                kernel::gram_chunk(
+                    chunk,
+                    rows,
+                    m,
+                    k,
+                    ASrc::ColMajor {
+                        data: a,
+                        stride: m,
+                        base: start,
+                    },
+                    BSrc::RowMajor { data: a, stride: m },
+                    start,
+                );
             },
         );
-        for i in 0..m {
-            for j in (i + 1)..m {
-                o[j * m + i] = o[i * m + j];
-            }
-        }
+        mirror_lower_from_upper(o, m);
     }
 
     /// Matrix–vector product `self · v`.
@@ -278,33 +318,58 @@ impl Matrix {
             return;
         }
         let a = self.as_slice();
-        par::par_chunks_mut(out, m, 1, m * k, |start, chunk| {
-            for (i, o) in chunk.iter_mut().enumerate() {
-                let row = &a[(start + i) * k..(start + i + 1) * k];
-                *o = row.iter().zip(v.iter()).map(|(&x, &y)| x * y).sum();
-            }
+        par::par_chunks_mut_aligned(out, m, 1, kernel::ROW_ALIGN, m * k, |start, chunk| {
+            let rows = chunk.len();
+            kernel::matvec_chunk(chunk, &a[start * k..(start + rows) * k], k, v);
         });
     }
 }
 
-/// Blocked `C += A·B` on raw slices (row-major).
-fn gemm_nn(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
-    for ib in (0..m).step_by(BLOCK) {
-        let imax = (ib + BLOCK).min(m);
-        for kb in (0..k).step_by(BLOCK) {
-            let kmax = (kb + BLOCK).min(k);
-            for i in ib..imax {
-                let crow = &mut c[i * n..(i + 1) * n];
-                for p in kb..kmax {
-                    let av = a[i * k + p];
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
+/// Shared-pointer handle for the Gram mirror: lanes write disjoint
+/// strictly-lower row ranges and read only the strictly-upper triangle,
+/// which no lane writes, so the shared mutable pointer is race-free.
+struct MirrorPtr(*mut f64);
+// SAFETY: see the disjointness argument on the struct.
+unsafe impl Send for MirrorPtr {}
+unsafe impl Sync for MirrorPtr {}
+
+/// Mirror tile edge: a 64×64 f64 tile pair (source + destination) is
+/// 64 KiB, comfortably inside L2, so the column-major reads of the naive
+/// mirror become cache-resident.
+const MIRROR_BLOCK: usize = 64;
+
+/// Fills the strictly-lower triangle of the `m × m` row-major buffer `o`
+/// from its upper triangle (`o[j*m+i] = o[i*m+j]` for `j > i`), tiled so
+/// both sides of the swap stream through cache, and parallelized over
+/// destination row blocks (row `j` carries `j` elements, so lanes are
+/// weighted like the forward Gram pass, mirrored).
+fn mirror_lower_from_upper(o: &mut [f64], m: usize) {
+    debug_assert_eq!(o.len(), m * m);
+    let ptr = MirrorPtr(o.as_mut_ptr());
+    // ~2 ops per mirrored element (load + store), m(m-1)/2 elements.
+    par::par_row_ranges(
+        m,
+        m * m / 2,
+        |j| j,
+        |start, end| {
+            let ptr = &ptr;
+            for jb in (start..end).step_by(MIRROR_BLOCK) {
+                let jmax = (jb + MIRROR_BLOCK).min(end);
+                for ib in (0..jmax).step_by(MIRROR_BLOCK) {
+                    let imax = (ib + MIRROR_BLOCK).min(m);
+                    for j in jb..jmax {
+                        for i in ib..imax.min(j) {
+                            // SAFETY: j > i, so the write hits the strictly-lower
+                            // triangle inside this lane's rows [start, end) and
+                            // the read the strictly-upper triangle; both indices
+                            // are < m*m.
+                            unsafe { *ptr.0.add(j * m + i) = *ptr.0.add(i * m + j) };
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
 }
 
 /// Triple-loop reference GEMM used to validate the blocked kernels in tests

@@ -1,0 +1,439 @@
+//! Runtime-dispatched, register-tiled GEMM engine.
+//!
+//! Every GEMM flavour in this crate (`matmul`, `matmul_tn`, `matmul_nt`,
+//! `gram`, `matvec`) funnels into one cache-blocked macro-kernel: operand
+//! blocks are packed into contiguous, zero-padded panels
+//! ([`pack`] — drawn from the [`crate::workspace`] arena, so the steady
+//! state allocates nothing), and an MR×NR register-tiled micro-kernel
+//! ([`micro`]) does all the arithmetic. The micro-kernel implementation is
+//! selected **once** per process by runtime CPU detection:
+//!
+//! * x86_64 — AVX-512F (8×16 tile) when available, else AVX2 (4×8),
+//! * aarch64 — NEON (4×8),
+//! * anywhere else, or on request — a portable scalar 4×8 kernel.
+//!
+//! # Dispatch and the `PIPEFISHER_KERNEL` knob
+//!
+//! `PIPEFISHER_KERNEL=scalar` forces the portable kernel, `simd` the best
+//! detected vector kernel (the default when unset), and `fma` an opt-in
+//! fused-multiply-add variant. Anything else warns and falls back to auto.
+//! [`set_kernel`] overrides the environment at runtime (tests, benches).
+//!
+//! # Determinism
+//!
+//! The default (`scalar`/`simd`) kernels are **bitwise identical** to each
+//! other, to the pre-tiling serial loops, and across thread counts: SIMD
+//! lanes run across output *columns*, so each output element keeps its own
+//! single accumulator chain over `k` in ascending order, and multiply and
+//! add round separately (never fused). Cache blocking round-trips partial
+//! sums through memory, which is exact for `f64`. Only `fma` reassociates
+//! rounding — it is never selected implicitly. See `micro` for the
+//! per-kernel argument and `crates/tensor/tests/kernel_dispatch.rs` for the
+//! property tests enforcing all of this.
+
+mod micro;
+mod pack;
+
+use crate::workspace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+pub(crate) use pack::{ASrc, BSrc};
+
+/// Rows of A packed per cache-block iteration (multiple of every MR).
+const MC: usize = 128;
+/// Depth (k extent) of one packed panel pair.
+const KC: usize = 256;
+/// Columns of B packed per cache-block iteration (multiple of every NR).
+const NC: usize = 512;
+/// Largest MR of any micro-kernel (the AVX-512 tile height).
+const MAX_MR: usize = micro::MR8;
+/// Largest NR of any micro-kernel (the AVX-512 tile width).
+const MAX_NR: usize = micro::NR16;
+
+/// Parallel row chunks should split on multiples of this so lanes never
+/// share a micro-panel (the least common multiple of all kernel MRs).
+pub const ROW_ALIGN: usize = 8;
+
+/// Which micro-kernel family executes the GEMM hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Portable scalar tile kernel (the fallback, and the reference the
+    /// SIMD kernels must match bitwise).
+    Scalar,
+    /// Best detected vector ISA with separate multiply + add — bitwise
+    /// identical to `Scalar`.
+    Simd,
+    /// Best detected vector ISA with fused multiply-add. Faster, but each
+    /// update rounds once instead of twice: **not** bitwise-compatible.
+    Fma,
+}
+
+/// A parsed `PIPEFISHER_KERNEL` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelRequest {
+    /// Pick the best bitwise-default kernel for this machine.
+    Auto,
+    /// Force a specific family (clamped to what the CPU supports).
+    Force(KernelKind),
+}
+
+/// Error for unrecognized `PIPEFISHER_KERNEL` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKernelRequest;
+
+impl std::fmt::Display for InvalidKernelRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected one of: auto, scalar, simd, fma")
+    }
+}
+
+impl std::error::Error for InvalidKernelRequest {}
+
+/// Parses a `PIPEFISHER_KERNEL` value (case-insensitive, trimmed).
+/// The empty string and `auto` mean [`KernelRequest::Auto`].
+pub fn parse_kernel_request(s: &str) -> Result<KernelRequest, InvalidKernelRequest> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(KernelRequest::Auto),
+        "scalar" => Ok(KernelRequest::Force(KernelKind::Scalar)),
+        "simd" => Ok(KernelRequest::Force(KernelKind::Simd)),
+        "fma" => Ok(KernelRequest::Force(KernelKind::Fma)),
+        _ => Err(InvalidKernelRequest),
+    }
+}
+
+/// The vector instruction set the dispatcher found at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    None,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "aarch64")]
+    Neon,
+}
+
+/// `(best vector ISA, fused multiply-add available)` — detected once.
+fn isa() -> (Isa, bool) {
+    static DETECTED: OnceLock<(Isa, bool)> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // avx512f includes 512-bit FMA forms.
+                return (Isa::Avx512, true);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return (Isa::Avx2, std::arch::is_x86_feature_detected!("fma"));
+            }
+            (Isa::None, false)
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                // NEON on aarch64 always carries vfmaq_f64.
+                return (Isa::Neon, true);
+            }
+            (Isa::None, false)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            (Isa::None, false)
+        }
+    })
+}
+
+/// Name of the detected vector ISA, for logs and bench artifacts:
+/// `"avx512f"`, `"avx2"`, `"neon"`, or `"none"`.
+pub fn simd_name() -> &'static str {
+    match isa().0 {
+        Isa::None => "none",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => "avx2",
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => "avx512f",
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => "neon",
+    }
+}
+
+/// Whether any SIMD micro-kernel is available on this CPU.
+pub fn simd_available() -> bool {
+    isa().0 != Isa::None
+}
+
+/// Clamps a requested kind to what the CPU supports: `Simd`/`Fma` without a
+/// vector ISA fall back to `Scalar`; `Fma` without fused ops runs `Simd`.
+fn clamp(kind: KernelKind) -> KernelKind {
+    let (best, fma) = isa();
+    match kind {
+        KernelKind::Scalar => KernelKind::Scalar,
+        _ if best == Isa::None => KernelKind::Scalar,
+        KernelKind::Fma if fma => KernelKind::Fma,
+        KernelKind::Fma => KernelKind::Simd,
+        _ => KernelKind::Simd,
+    }
+}
+
+/// Runtime override for [`kernel_kind`]; 0 = none, else kind + 1.
+static KERNEL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The kind resolved from `PIPEFISHER_KERNEL` (parsed once).
+fn env_kind() -> KernelKind {
+    static FROM_ENV: OnceLock<KernelKind> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        let requested = match std::env::var("PIPEFISHER_KERNEL") {
+            Ok(v) => parse_kernel_request(&v).unwrap_or_else(|e| {
+                eprintln!("warning: ignoring PIPEFISHER_KERNEL={v:?} ({e})");
+                KernelRequest::Auto
+            }),
+            Err(_) => KernelRequest::Auto,
+        };
+        match requested {
+            KernelRequest::Auto => clamp(KernelKind::Simd),
+            KernelRequest::Force(kind) => clamp(kind),
+        }
+    })
+}
+
+/// The micro-kernel family currently in use.
+///
+/// Resolution order: [`set_kernel`] override, then the `PIPEFISHER_KERNEL`
+/// environment variable, then auto (best available). The result is always
+/// achievable on this CPU — forcing `simd` on a scalar-only host returns
+/// `Scalar`.
+pub fn kernel_kind() -> KernelKind {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => clamp(KernelKind::Scalar),
+        2 => clamp(KernelKind::Simd),
+        3 => clamp(KernelKind::Fma),
+        _ => env_kind(),
+    }
+}
+
+/// Overrides [`kernel_kind`] process-wide; `None` restores the
+/// environment/auto default. Intended for tests and benches.
+pub fn set_kernel(kind: Option<KernelKind>) {
+    let v = match kind {
+        None => 0,
+        Some(KernelKind::Scalar) => 1,
+        Some(KernelKind::Simd) => 2,
+        Some(KernelKind::Fma) => 3,
+    };
+    KERNEL_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// A selected micro-kernel: tile shape plus the tile function.
+#[derive(Clone, Copy)]
+struct Micro {
+    mr: usize,
+    nr: usize,
+    run: micro::MicroFn,
+}
+
+/// Picks the micro-kernel for the current [`kernel_kind`].
+fn select_micro() -> Micro {
+    let scalar = Micro {
+        mr: micro::MR4,
+        nr: micro::NR8,
+        run: micro::micro_4x8_scalar,
+    };
+    match (kernel_kind(), isa().0) {
+        (KernelKind::Scalar, _) => scalar,
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Simd, Isa::Avx512) => Micro {
+            mr: micro::MR8,
+            nr: micro::NR16,
+            run: micro::micro_8x16_avx512,
+        },
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Fma, Isa::Avx512) => Micro {
+            mr: micro::MR8,
+            nr: micro::NR16,
+            run: micro::micro_8x16_avx512_fma,
+        },
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Simd, Isa::Avx2) => Micro {
+            mr: micro::MR4,
+            nr: micro::NR8,
+            run: micro::micro_4x8_avx2,
+        },
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Fma, Isa::Avx2) => Micro {
+            mr: micro::MR4,
+            nr: micro::NR8,
+            run: micro::micro_4x8_avx2_fma,
+        },
+        #[cfg(target_arch = "aarch64")]
+        (KernelKind::Simd, Isa::Neon) => Micro {
+            mr: micro::MR4,
+            nr: micro::NR8,
+            run: micro::micro_4x8_neon,
+        },
+        #[cfg(target_arch = "aarch64")]
+        (KernelKind::Fma, Isa::Neon) => Micro {
+            mr: micro::MR4,
+            nr: micro::NR8,
+            run: micro::micro_4x8_neon_fma,
+        },
+        // kernel_kind() never returns Simd/Fma when no ISA is detected,
+        // but the match must be exhaustive per target.
+        _ => scalar,
+    }
+}
+
+/// Picks the matvec panel kernel for the current [`kernel_kind`].
+fn select_matvec() -> micro::MatvecFn {
+    match (kernel_kind(), isa().0) {
+        (KernelKind::Scalar, _) => micro::matvec_8_scalar,
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Simd, Isa::Avx512) => micro::matvec_8_avx512,
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Fma, Isa::Avx512) => micro::matvec_8_avx512_fma,
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Simd, Isa::Avx2) => micro::matvec_8_avx2,
+        #[cfg(target_arch = "x86_64")]
+        (KernelKind::Fma, Isa::Avx2) => micro::matvec_8_avx2_fma,
+        #[cfg(target_arch = "aarch64")]
+        (KernelKind::Simd, Isa::Neon) => micro::matvec_8_neon,
+        #[cfg(target_arch = "aarch64")]
+        (KernelKind::Fma, Isa::Neon) => micro::matvec_8_neon_fma,
+        _ => micro::matvec_8_scalar,
+    }
+}
+
+/// Computes `c[i][j] += Σ_p A(i,p)·B(p,j)` over one parallel chunk of
+/// `rows × n` output (`c` pre-zeroed or mid-accumulation), with cache
+/// blocking, panel packing, and the dispatched micro-kernel.
+pub(crate) fn gemm_chunk(c: &mut [f64], rows: usize, n: usize, k: usize, a: ASrc<'_>, b: BSrc<'_>) {
+    gemm_chunk_inner(c, rows, n, k, a, b, None)
+}
+
+/// [`gemm_chunk`] for the Gram kernel: `diag` is the chunk's first global
+/// row; micro-tiles lying entirely strictly below the matrix diagonal are
+/// skipped (the mirror pass fills them from the upper triangle).
+pub(crate) fn gram_chunk(
+    c: &mut [f64],
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: ASrc<'_>,
+    b: BSrc<'_>,
+    diag: usize,
+) {
+    gemm_chunk_inner(c, rows, n, k, a, b, Some(diag))
+}
+
+fn gemm_chunk_inner(
+    c: &mut [f64],
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: ASrc<'_>,
+    b: BSrc<'_>,
+    diag: Option<usize>,
+) {
+    debug_assert_eq!(c.len(), rows * n);
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mk = select_micro();
+    let (mr, nr) = (mk.mr, mk.nr);
+    // Fixed-size panel buffers from the workspace arena: one size class
+    // each, so steady-state checkouts always hit the per-thread free list.
+    let mut abuf = workspace::take_raw(MC * KC);
+    let mut bbuf = workspace::take_raw(KC * NC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        // Whole column block strictly below the diagonal: nothing to do.
+        if diag.is_some_and(|d| jc + nc <= d) {
+            continue;
+        }
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            pack::pack_b(&mut bbuf, &b, kb, kc, jc, nc, nr);
+            for ib in (0..rows).step_by(MC) {
+                let mc = MC.min(rows - ib);
+                // Row blocks only sink further below the diagonal.
+                if diag.is_some_and(|d| jc + nc <= d + ib) {
+                    break;
+                }
+                pack::pack_a(&mut abuf, &a, ib, mc, kb, kc, mr);
+                for i0 in (0..mc).step_by(mr) {
+                    let tm = mr.min(mc - i0);
+                    let ap = abuf[(i0 / mr) * kc * mr..].as_ptr();
+                    for j0 in (0..nc).step_by(nr) {
+                        let tn = nr.min(nc - j0);
+                        if diag.is_some_and(|d| jc + j0 + tn <= d + ib + i0) {
+                            continue;
+                        }
+                        let bp = bbuf[(j0 / nr) * kc * nr..].as_ptr();
+                        let coff = (ib + i0) * n + jc + j0;
+                        if tm == mr && tn == nr {
+                            // SAFETY: full tile — `c[coff..]` spans mr rows of
+                            // stride n ≥ nr columns each; panels hold kc steps;
+                            // select_micro only returns ISA kernels the
+                            // detected CPU supports.
+                            unsafe { (mk.run)(kc, ap, bp, c.as_mut_ptr().add(coff), n) };
+                        } else {
+                            // Ragged edge: run the full tile against the
+                            // zero-padded panels in a local buffer and copy
+                            // only the real elements back. Padded lanes are
+                            // discarded, so they cannot affect results.
+                            let mut tile = [0.0f64; MAX_MR * MAX_NR];
+                            for i in 0..tm {
+                                tile[i * nr..i * nr + tn]
+                                    .copy_from_slice(&c[coff + i * n..coff + i * n + tn]);
+                            }
+                            // SAFETY: `tile` is MAX_MR×MAX_NR ≥ mr×nr at
+                            // stride nr; panel bounds as above.
+                            unsafe { (mk.run)(kc, ap, bp, tile.as_mut_ptr(), nr) };
+                            for i in 0..tm {
+                                c[coff + i * n..coff + i * n + tn]
+                                    .copy_from_slice(&tile[i * nr..i * nr + tn]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    workspace::put(abuf);
+    workspace::put(bbuf);
+}
+
+/// Matrix–vector product over one parallel chunk: `out[i] = Σ_p
+/// a[i*k+p]·v[p]` for the `out.len()` rows starting at `a` (row-major,
+/// stride `k`). Rows are packed into [`micro::MV_MR`]-high panels so the
+/// vector kernels run one independent accumulator chain per output row.
+pub(crate) fn matvec_chunk(out: &mut [f64], a: &[f64], k: usize, v: &[f64]) {
+    let rows = out.len();
+    if rows == 0 || k == 0 {
+        return;
+    }
+    let mv = select_matvec();
+    const MV: usize = micro::MV_MR;
+    let mut abuf = workspace::take_raw(MV * KC);
+    for i0 in (0..rows).step_by(MV) {
+        let tm = MV.min(rows - i0);
+        let mut acc = [0.0f64; MV];
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            for p in 0..kc {
+                for i in 0..MV {
+                    abuf[p * MV + i] = if i < tm {
+                        a[(i0 + i) * k + kb + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            // SAFETY: abuf holds kc*MV packed elements, v[kb..] holds kc,
+            // acc holds MV; select_matvec only returns supported kernels.
+            unsafe { mv(kc, abuf.as_ptr(), v.as_ptr().add(kb), acc.as_mut_ptr()) };
+        }
+        out[i0..i0 + tm].copy_from_slice(&acc[..tm]);
+    }
+    workspace::put(abuf);
+}

@@ -32,6 +32,7 @@ mod eigen;
 mod error;
 mod gemm;
 pub mod init;
+pub mod kernel;
 mod matrix;
 pub mod par;
 mod reduce;

@@ -311,7 +311,13 @@ impl Matrix {
 
     /// Multiplies every element by `s` in place.
     pub fn scale_inplace(&mut self, s: f64) {
-        for x in &mut self.data {
+        let mut it = self.data.chunks_exact_mut(crate::reduce::LANES);
+        for c in it.by_ref() {
+            for x in c {
+                *x *= s;
+            }
+        }
+        for x in it.into_remainder() {
             *x *= s;
         }
     }
@@ -323,7 +329,14 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (x, &y) in self.data.iter_mut().zip(other.data.iter()) {
+        let mut xi = self.data.chunks_exact_mut(crate::reduce::LANES);
+        let mut yi = other.data.chunks_exact(crate::reduce::LANES);
+        for (cx, cy) in xi.by_ref().zip(yi.by_ref()) {
+            for (x, &y) in cx.iter_mut().zip(cy.iter()) {
+                *x += alpha * y;
+            }
+        }
+        for (x, &y) in xi.into_remainder().iter_mut().zip(yi.remainder().iter()) {
             *x += alpha * y;
         }
     }
@@ -353,7 +366,7 @@ impl Matrix {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f64 {
-        self.data.iter().sum()
+        crate::reduce::sum_exact(&self.data)
     }
 
     /// Mean of all elements. Returns 0 for an empty matrix.
@@ -367,7 +380,7 @@ impl Matrix {
 
     /// Frobenius norm (`sqrt(sum of squares)`).
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        crate::reduce::dot_exact(&self.data, &self.data).sqrt()
     }
 
     /// Maximum absolute element. Returns 0 for an empty matrix.
@@ -382,11 +395,7 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn dot(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "dot: shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| a * b)
-            .sum()
+        crate::reduce::dot_exact(&self.data, &other.data)
     }
 
     /// Whether every element is finite.

@@ -290,6 +290,24 @@ where
     par_chunks_mut_weighted(out, rows, row_width, work, |_| 1, body)
 }
 
+/// [`par_chunks_mut`] with chunk boundaries rounded down to multiples of
+/// `align`, so lanes split on micro-panel boundaries (the GEMM kernels pass
+/// [`crate::kernel::ROW_ALIGN`] to avoid ragged register tiles at every
+/// lane seam). Alignment only moves boundaries; coverage and determinism
+/// are unchanged.
+pub fn par_chunks_mut_aligned<F>(
+    out: &mut [f64],
+    rows: usize,
+    row_width: usize,
+    align: usize,
+    work: usize,
+    body: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    par_chunks_mut_weighted_aligned(out, rows, row_width, align, work, |_| 1, body)
+}
+
 /// Like [`par_chunks_mut`], but chunk boundaries balance `weight(row)`
 /// (relative cost of a row) instead of row counts — e.g. the Gram kernel's
 /// upper-triangle rows shrink linearly, so equal row counts would leave the
@@ -305,13 +323,30 @@ pub fn par_chunks_mut_weighted<W, F>(
     W: Fn(usize) -> usize,
     F: Fn(usize, &mut [f64]) + Sync,
 {
+    par_chunks_mut_weighted_aligned(out, rows, row_width, 1, work, weight, body)
+}
+
+/// Weighted *and* aligned chunking — see [`par_chunks_mut_weighted`] and
+/// [`par_chunks_mut_aligned`].
+pub fn par_chunks_mut_weighted_aligned<W, F>(
+    out: &mut [f64],
+    rows: usize,
+    row_width: usize,
+    align: usize,
+    work: usize,
+    weight: W,
+    body: F,
+) where
+    W: Fn(usize) -> usize,
+    F: Fn(usize, &mut [f64]) + Sync,
+{
     assert_eq!(out.len(), rows * row_width, "par_chunks_mut: buffer shape");
     let lanes = effective_lanes(rows, work);
     if lanes <= 1 {
         body(0, out);
         return;
     }
-    let bounds = weighted_bounds(rows, lanes, weight);
+    let bounds = weighted_bounds(rows, lanes, align, weight);
     let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
     let mut rest = out;
     let mut consumed = 0usize;
@@ -327,6 +362,35 @@ pub fn par_chunks_mut_weighted<W, F>(
     run_tasks(tasks);
 }
 
+/// Runs `body(start, end)` over a weighted partition of `[0, rows)`, one
+/// task per lane, without handing out buffer chunks — for kernels whose
+/// lanes write disjoint row ranges of a shared buffer through raw pointers
+/// (e.g. the Gram mirror, whose reads come from rows no task writes).
+/// The caller is responsible for that disjointness; this helper only
+/// guarantees the ranges tile `[0, rows)` exactly once.
+pub fn par_row_ranges<W, F>(rows: usize, work: usize, weight: W, body: F)
+where
+    W: Fn(usize) -> usize,
+    F: Fn(usize, usize) + Sync,
+{
+    if rows == 0 {
+        return;
+    }
+    let lanes = effective_lanes(rows, work);
+    if lanes <= 1 {
+        body(0, rows);
+        return;
+    }
+    let bounds = weighted_bounds(rows, lanes, 1, weight);
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
+    for win in bounds.windows(2) {
+        let (start, end) = (win[0], win[1]);
+        let body = &body;
+        tasks.push(Box::new(move || body(start, end)));
+    }
+    run_tasks(tasks);
+}
+
 /// Lanes a kernel of `rows` output rows and `work` multiply–adds should
 /// use: 1 (serial) below the threshold, else `min(max_threads, rows)`.
 fn effective_lanes(rows: usize, work: usize) -> usize {
@@ -337,8 +401,17 @@ fn effective_lanes(rows: usize, work: usize) -> usize {
 }
 
 /// Chunk boundaries `b_0 = 0 < b_1 < … < b_t = rows` splitting total
-/// `weight` as evenly as `t = lanes` contiguous pieces allow.
-fn weighted_bounds<W: Fn(usize) -> usize>(rows: usize, lanes: usize, weight: W) -> Vec<usize> {
+/// `weight` as evenly as `t = lanes` contiguous pieces allow. Interior
+/// boundaries are rounded down to multiples of `align` (the final boundary
+/// stays `rows`); a boundary that rounds onto its predecessor is dropped,
+/// costing a lane rather than breaking alignment.
+fn weighted_bounds<W: Fn(usize) -> usize>(
+    rows: usize,
+    lanes: usize,
+    align: usize,
+    weight: W,
+) -> Vec<usize> {
+    let align = align.max(1);
     let total: usize = (0..rows).map(&weight).sum::<usize>().max(1);
     let mut bounds = Vec::with_capacity(lanes + 1);
     bounds.push(0);
@@ -349,8 +422,9 @@ fn weighted_bounds<W: Fn(usize) -> usize>(rows: usize, lanes: usize, weight: W) 
         // Close a chunk once its share of the total is reached, but never
         // emit more boundaries than lanes.
         while next_quota < lanes && acc * lanes >= total * next_quota {
-            if row + 1 < rows {
-                bounds.push(row + 1);
+            let b = (row + 1) / align * align;
+            if b > *bounds.last().expect("bounds starts non-empty") && b < rows {
+                bounds.push(b);
             }
             next_quota += 1;
         }
@@ -415,7 +489,7 @@ mod tests {
         // Rows of weight (rows - i): lane loads should be within ~2 rows'
         // weight of each other, unlike the naive equal-rows split.
         let rows = 100;
-        let bounds = weighted_bounds(rows, 4, |i| rows - i);
+        let bounds = weighted_bounds(rows, 4, 1, |i| rows - i);
         assert_eq!(*bounds.first().unwrap(), 0);
         assert_eq!(*bounds.last().unwrap(), rows);
         let loads: Vec<usize> = bounds
@@ -425,6 +499,45 @@ mod tests {
         let max = *loads.iter().max().unwrap() as f64;
         let min = *loads.iter().min().unwrap() as f64;
         assert!(max / min < 1.5, "unbalanced loads {loads:?}");
+    }
+
+    #[test]
+    fn aligned_bounds_sit_on_multiples() {
+        for &(rows, lanes, align) in &[(100, 4, 8), (37, 4, 8), (8, 4, 8), (64, 3, 4)] {
+            let bounds = weighted_bounds(rows, lanes, align, |_| 1);
+            assert_eq!(*bounds.first().unwrap(), 0);
+            assert_eq!(*bounds.last().unwrap(), rows);
+            for win in bounds.windows(2) {
+                assert!(win[0] < win[1], "non-increasing bounds {bounds:?}");
+            }
+            for &b in &bounds[1..bounds.len() - 1] {
+                assert_eq!(b % align, 0, "interior bound {b} not {align}-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn row_ranges_tile_exactly_once() {
+        let _guard = settings_lock();
+        set_max_threads(4);
+        set_par_threshold(0);
+        let rows = 53;
+        let hits: Vec<AtomicU64> = (0..rows).map(|_| AtomicU64::new(0)).collect();
+        par_row_ranges(
+            rows,
+            usize::MAX,
+            |i| i + 1,
+            |start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        for (r, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "row {r}");
+        }
+        set_max_threads(0);
+        set_par_threshold(DEFAULT_PAR_THRESHOLD);
     }
 
     #[test]

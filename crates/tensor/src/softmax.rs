@@ -19,6 +19,13 @@ pub fn softmax(logits: &Matrix) -> Matrix {
 }
 
 /// Row-wise stable softmax, in place.
+///
+/// The exponentiation, summation, and normalization passes are separate
+/// exact-chunk loops: the sum still folds the exponentials in ascending
+/// column order (bitwise identical to the old fused loop), while the
+/// elementwise passes carry no cross-lane dependency and autovectorize.
+/// Normalization divides by the sum (no reciprocal-multiply shortcut,
+/// which would round differently).
 pub fn softmax_inplace(logits: &mut Matrix) {
     let cols = logits.cols();
     if cols == 0 {
@@ -27,12 +34,17 @@ pub fn softmax_inplace(logits: &mut Matrix) {
     for r in 0..logits.rows() {
         let row = logits.row_mut(r);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let mut sum = 0.0;
         for x in row.iter_mut() {
             *x = (*x - max).exp();
-            sum += *x;
         }
-        for x in row.iter_mut() {
+        let sum = crate::reduce::sum_exact(row);
+        let mut it = row.chunks_exact_mut(crate::reduce::LANES);
+        for c in it.by_ref() {
+            for x in c {
+                *x /= sum;
+            }
+        }
+        for x in it.into_remainder() {
             *x /= sum;
         }
     }
@@ -52,7 +64,13 @@ pub fn log_softmax(logits: &Matrix) -> Matrix {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let lse = row.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
-        for x in row.iter_mut() {
+        let mut it = row.chunks_exact_mut(crate::reduce::LANES);
+        for c in it.by_ref() {
+            for x in c {
+                *x -= lse;
+            }
+        }
+        for x in it.into_remainder() {
             *x -= lse;
         }
     }

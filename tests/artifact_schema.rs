@@ -63,7 +63,12 @@ fn artifacts_exist() {
         .iter()
         .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
         .collect();
-    for required in ["BENCH_alloc.json", "BENCH_pipeline.json", "SOAK.json"] {
+    for required in [
+        "BENCH_alloc.json",
+        "BENCH_gemm.json",
+        "BENCH_pipeline.json",
+        "SOAK.json",
+    ] {
         assert!(
             names.iter().any(|n| n == required),
             "missing committed artifact {required} (found: {names:?})"
@@ -115,6 +120,38 @@ fn pipeline_bench_rows_have_required_keys() {
             row.get("stages").and_then(Value::as_i64).unwrap_or(0) >= 1,
             "results[{i}]: bad stage count"
         );
+    }
+}
+
+#[test]
+fn gemm_bench_rows_have_required_keys() {
+    let v = load(&repo_root().join("BENCH_gemm.json"));
+    assert!(
+        v.get("simd").and_then(Value::as_str).is_some(),
+        "missing string key 'simd' (detected ISA the dispatched column ran on)"
+    );
+    let rows = v
+        .get("results")
+        .and_then(Value::as_array)
+        .expect("'results' array");
+    assert!(!rows.is_empty(), "empty results");
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "kernel",
+            "m",
+            "k",
+            "n",
+            "scalar_gflops",
+            "simd_gflops",
+            "speedup",
+        ] {
+            assert!(row.get(key).is_some(), "results[{i}]: missing '{key}'");
+        }
+        let gflops = row
+            .get("scalar_gflops")
+            .and_then(Value::as_f64)
+            .unwrap_or(-1.0);
+        assert!(gflops > 0.0, "results[{i}]: non-positive scalar_gflops");
     }
 }
 
