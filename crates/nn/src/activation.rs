@@ -36,7 +36,11 @@ pub struct Activation {
 const SQRT_2_OVER_PI: f64 = 0.797_884_560_802_865_4;
 const GELU_COEFF: f64 = 0.044715;
 
-fn gelu(x: f64) -> f64 {
+/// Tanh-approximate GELU (the BERT variant), exposed as a plain `fn` so it
+/// can be fused into a GEMM store epilogue
+/// ([`Matrix::matmul_bias_act_into`](pipefisher_tensor::Matrix::matmul_bias_act_into)).
+/// Identical to what [`Activation`] applies for [`ActivationKind::Gelu`].
+pub fn gelu(x: f64) -> f64 {
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x)).tanh())
 }
 
@@ -64,6 +68,21 @@ impl Activation {
             ActivationKind::Relu => x.max(0.0),
             ActivationKind::Tanh => x.tanh(),
         }
+    }
+
+    /// Takes the cached pre-activation input buffer (empty if this layer
+    /// has not run yet), for reuse as fused-GEMM scratch. Callers that
+    /// compute the activation inside a GEMM epilogue hand the filled
+    /// buffer back via [`Activation::set_cached_input`] so
+    /// [`Layer::backward`] still finds the input it differentiates at.
+    pub fn take_cached_input(&mut self) -> Matrix {
+        self.input.take().unwrap_or_default()
+    }
+
+    /// Stores `pre` as this layer's cached forward input, as if
+    /// [`Layer::forward`] had just run on it.
+    pub fn set_cached_input(&mut self, pre: Matrix) {
+        self.input = Some(pre);
     }
 
     fn grad(&self, x: f64) -> f64 {

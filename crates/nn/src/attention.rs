@@ -1,7 +1,7 @@
 //! Multi-head scaled-dot-product self-attention.
 
 use crate::{Dropout, ForwardCtx, Layer, Linear, ParamVisitor};
-use pipefisher_tensor::{softmax_inplace, Matrix};
+use pipefisher_tensor::{softmax_scaled_inplace, Matrix};
 use rand::Rng;
 
 /// Cached forward state for the attention backward pass.
@@ -141,26 +141,10 @@ impl MultiHeadAttention {
         }
     }
 
-    /// Adds `block` into the `(b, h)` sub-block of `m`.
-    fn add_head_block(
-        m: &mut Matrix,
-        block: &Matrix,
-        b: usize,
-        h: usize,
-        seq: usize,
-        d_head: usize,
-    ) {
-        for s in 0..seq {
-            let dst = &mut m.row_mut(b * seq + s)[h * d_head..(h + 1) * d_head];
-            for (d, &x) in dst.iter_mut().zip(block.row(s).iter()) {
-                *d += x;
-            }
-        }
-    }
-}
-
-impl Layer for MultiHeadAttention {
-    fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+    /// Shared forward body: projections, per-head scaled-dot-product
+    /// attention, and the head concatenation — everything up to (but not
+    /// including) the output projection. Caches backward state.
+    fn forward_concat(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
         assert_eq!(x.cols(), self.d_model, "MultiHeadAttention: input dim");
         let seq = ctx.effective_seq_len(x.rows());
         let batch = x.rows() / seq;
@@ -184,7 +168,6 @@ impl Layer for MultiHeadAttention {
                 Self::head_block_into(&v_out, b, h, seq, dh, &mut scr.vb);
                 let (qb, kb, vb) = (&scr.qb, &scr.kb, &scr.vb);
                 let mut scores = qb.matmul_nt(kb);
-                scores.scale_inplace(scale);
                 if self.causal {
                     for r in 0..seq {
                         let row = scores.row_mut(r);
@@ -193,7 +176,11 @@ impl Layer for MultiHeadAttention {
                         }
                     }
                 }
-                softmax_inplace(&mut scores);
+                // The 1/√d_k scale is folded into the softmax's max/exp
+                // pass (one fewer sweep over the seq × seq scores).
+                // Masking before scaling is bitwise-neutral: the mask
+                // writes -∞, and scale·(-∞) = -∞ for any positive scale.
+                softmax_scaled_inplace(&mut scores, scale);
                 let scores = self.attn_dropout.forward(&scores, ctx);
                 let ob = scores.matmul(vb);
                 Self::add_head_block(&mut concat, &ob, b, h, seq, dh);
@@ -209,6 +196,40 @@ impl Layer for MultiHeadAttention {
             v_out,
             probs,
         });
+        concat
+    }
+
+    /// Forward pass returning `Attention(x) + residual`, with the residual
+    /// add fused into the output projection's GEMM store epilogue. Bitwise
+    /// identical to [`Layer::forward`] plus a separate elementwise add; the
+    /// caller routes `dout` both into [`Layer::backward`] and down the
+    /// residual branch, exactly as for the unfused sum.
+    pub fn forward_residual(&mut self, x: &Matrix, residual: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        let concat = self.forward_concat(x, ctx);
+        self.o.forward_residual(&concat, residual, ctx)
+    }
+
+    /// Adds `block` into the `(b, h)` sub-block of `m`.
+    fn add_head_block(
+        m: &mut Matrix,
+        block: &Matrix,
+        b: usize,
+        h: usize,
+        seq: usize,
+        d_head: usize,
+    ) {
+        for s in 0..seq {
+            let dst = &mut m.row_mut(b * seq + s)[h * d_head..(h + 1) * d_head];
+            for (d, &x) in dst.iter_mut().zip(block.row(s).iter()) {
+                *d += x;
+            }
+        }
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        let concat = self.forward_concat(x, ctx);
         self.o.forward(&concat, ctx)
     }
 
@@ -349,6 +370,20 @@ mod tests {
         let y1 = y.slice_rows(0, 3);
         let y2 = y.slice_rows(3, 6);
         assert!((&y1 - &y2).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_residual_matches_forward_plus_add_bitwise() {
+        let mut a1 = attn(8, 2);
+        let mut a2 = attn(8, 2);
+        let x = init::normal(6, 8, 1.0, &mut StdRng::seed_from_u64(7));
+        let res = init::normal(6, 8, 1.0, &mut StdRng::seed_from_u64(8));
+        let ctx = ForwardCtx::eval().with_seq_len(3);
+        let yf = a1.forward_residual(&x, &res, &ctx);
+        let yref = &res + &a2.forward(&x, &ctx);
+        for (a, b) in yf.as_slice().iter().zip(yref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

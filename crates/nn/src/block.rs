@@ -55,12 +55,28 @@ impl TransformerBlock {
 
 impl Layer for TransformerBlock {
     fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
-        let a = self.attn.forward(x, ctx);
-        let a = self.drop1.forward(&a, ctx);
-        let h = self.ln1.forward(&(x + &a), ctx);
-        let f = self.ff.forward(&h, ctx);
-        let f = self.drop2.forward(&f, ctx);
-        self.ln2.forward(&(&h + &f), ctx)
+        // When a dropout is a no-op (p = 0 ⇒ identity, and it records no
+        // mask), the residual add fuses into the preceding projection's
+        // GEMM store epilogue. Bitwise identical to the unfused path:
+        // x + a equals (a + x) bit for bit (IEEE addition is commutative).
+        // With p > 0 the sub-layer output must pass through the mask
+        // before the add, so the separate-pass path is kept.
+        let sum1 = if self.drop1.p() == 0.0 {
+            self.attn.forward_residual(x, x, ctx)
+        } else {
+            let a = self.attn.forward(x, ctx);
+            let a = self.drop1.forward(&a, ctx);
+            x + &a
+        };
+        let h = self.ln1.forward(&sum1, ctx);
+        let sum2 = if self.drop2.p() == 0.0 {
+            self.ff.forward_residual(&h, &h, ctx)
+        } else {
+            let f = self.ff.forward(&h, ctx);
+            let f = self.drop2.forward(&f, ctx);
+            &h + &f
+        };
+        self.ln2.forward(&sum2, ctx)
     }
 
     fn backward(&mut self, dout: &Matrix) -> Matrix {
@@ -124,6 +140,32 @@ mod tests {
         let mut total = 0.0;
         b.visit_params(&mut |p: &mut crate::Parameter| total += p.grad.max_abs());
         assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn fused_residual_path_matches_unfused_bitwise() {
+        // dropout_p = 0 routes through the fused residual epilogues; any
+        // p > 0 keeps the separate-pass path. In eval mode both compute the
+        // same function, and the fusion contract says bit-for-bit the same.
+        // Construction draws the same RNG stream either way, so the two
+        // blocks share weights.
+        let mut fused = TransformerBlock::new("b", 8, 16, 2, 0.0, &mut StdRng::seed_from_u64(33));
+        let mut plain = TransformerBlock::new("b", 8, 16, 2, 0.5, &mut StdRng::seed_from_u64(33));
+        let x = init::normal(6, 8, 1.0, &mut StdRng::seed_from_u64(34));
+        let ctx = ForwardCtx::eval().with_seq_len(3);
+        let yf = fused.forward(&x, &ctx);
+        let yp = plain.forward(&x, &ctx);
+        for (a, b) in yf.as_slice().iter().zip(yp.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Backward through the fused forward must match too (the fused
+        // epilogues change nothing the backward pass reads).
+        let dout = init::normal(6, 8, 1.0, &mut StdRng::seed_from_u64(35));
+        let dxf = fused.backward(&dout);
+        let dxp = plain.backward(&dout);
+        for (a, b) in dxf.as_slice().iter().zip(dxp.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -36,12 +36,39 @@ impl FeedForward {
         f(&mut self.fc1);
         f(&mut self.fc2);
     }
+
+    /// Runs `act(fc1(x))` with the GELU fused into fc1's GEMM store
+    /// epilogue. The pre-activation lands in the [`Activation`] layer's
+    /// cached-input buffer (recycled across steps), so its backward pass is
+    /// unchanged. Bitwise identical to `act.forward(&fc1.forward(x))`.
+    fn forward_hidden(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        if self.act.kind() == ActivationKind::Gelu {
+            let mut pre = self.act.take_cached_input();
+            let h = self
+                .fc1
+                .forward_bias_act(x, crate::activation::gelu, &mut pre, ctx);
+            self.act.set_cached_input(pre);
+            h
+        } else {
+            let h = self.fc1.forward(x, ctx);
+            self.act.forward(&h, ctx)
+        }
+    }
+
+    /// Forward pass returning `fc2(act(fc1(x))) + residual`, with the
+    /// residual add fused into fc2's GEMM store epilogue (bitwise identical
+    /// to [`Layer::forward`] plus a separate elementwise add). The caller
+    /// routes `dout` both into [`Layer::backward`] and down the residual
+    /// branch, exactly as for the unfused sum.
+    pub fn forward_residual(&mut self, x: &Matrix, residual: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        let h = self.forward_hidden(x, ctx);
+        self.fc2.forward_residual(&h, residual, ctx)
+    }
 }
 
 impl Layer for FeedForward {
     fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
-        let h = self.fc1.forward(x, ctx);
-        let h = self.act.forward(&h, ctx);
+        let h = self.forward_hidden(x, ctx);
         self.fc2.forward(&h, ctx)
     }
 
@@ -74,6 +101,29 @@ mod tests {
         assert_eq!(y.shape(), (4, 6));
         let dx = ff.backward(&Matrix::full(4, 6, 1.0));
         assert_eq!(dx.shape(), (4, 6));
+    }
+
+    #[test]
+    fn fused_gelu_matches_separate_passes_bitwise() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ff = FeedForward::new("ff", 6, 24, &mut rng);
+        let x = init::normal(5, 6, 1.0, &mut rng);
+        let y = ff.forward(&x, &ForwardCtx::train());
+        // Separate-pass reference on the same weights.
+        let mut h = x.matmul(&ff.fc1.weight().value);
+        h.add_row_broadcast(ff.fc1.bias().value.row(0));
+        let ha = h.map(crate::activation::gelu);
+        let mut yref = ha.matmul(&ff.fc2.weight().value);
+        yref.add_row_broadcast(ff.fc2.bias().value.row(0));
+        for (a, b) in y.as_slice().iter().zip(yref.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Backward still sees the correct pre-activation via the cached
+        // input handoff: the activation gradient is evaluated at fc1's
+        // pre-activation, not at the GELU output.
+        let dx = ff.backward(&Matrix::full(5, 6, 1.0));
+        assert_eq!(dx.shape(), (5, 6));
+        assert!(dx.all_finite());
     }
 
     #[test]

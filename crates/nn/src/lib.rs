@@ -46,7 +46,7 @@ mod loss;
 mod param;
 mod stage;
 
-pub use activation::{Activation, ActivationKind};
+pub use activation::{gelu, Activation, ActivationKind};
 pub use attention::MultiHeadAttention;
 pub use bert::{
     BertConfig, BertForPreTraining, BertModel, PreTrainingBatch, PreTrainingOutput,

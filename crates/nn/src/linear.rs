@@ -173,6 +173,54 @@ impl Linear {
         (&mut self.weight, &mut self.bias, &mut self.stats)
     }
 
+    /// Shared forward prologue: K-FAC statistics capture plus the input
+    /// cache `backward` differentiates at. Every forward flavour (plain,
+    /// fused-activation, fused-residual) runs this, so they are
+    /// interchangeable as far as backprop and K-FAC are concerned.
+    fn forward_prologue(&mut self, x: &Matrix, ctx: &ForwardCtx) {
+        assert_eq!(x.cols(), self.d_in(), "Linear {}: input dim", self.name());
+        if ctx.capture_kfac && self.kfac_enabled {
+            self.capture_activations(x);
+        }
+        match &mut self.input {
+            Some(buf) => buf.clone_from(x),
+            None => self.input = Some(x.clone()),
+        }
+    }
+
+    /// Forward pass with the elementwise activation `act` fused into the
+    /// GEMM store epilogue: returns `act(x·W + b)` and writes the
+    /// pre-activation `x·W + b` into `pre`. Bitwise identical to
+    /// [`Layer::forward`] followed by a separate `act` pass, but the output
+    /// matrix is traversed once instead of three times. `pre` is handed to
+    /// the downstream [`crate::Activation`] layer as its cached input so
+    /// its backward pass is unchanged.
+    pub fn forward_bias_act(
+        &mut self,
+        x: &Matrix,
+        act: fn(f64) -> f64,
+        pre: &mut Matrix,
+        ctx: &ForwardCtx,
+    ) -> Matrix {
+        self.forward_prologue(x, ctx);
+        let mut y = Matrix::zeros(x.rows(), self.d_out());
+        x.matmul_bias_act_into(&self.weight.value, self.bias.value.row(0), act, pre, &mut y);
+        y
+    }
+
+    /// Forward pass with a residual add fused into the GEMM store
+    /// epilogue: returns `(x·W + b) + residual`. Bitwise identical to
+    /// [`Layer::forward`] followed by a separate elementwise add. The
+    /// gradient of the sum with respect to this layer's output is `dout`
+    /// itself, so [`Layer::backward`] is unchanged; the caller routes the
+    /// same `dout` down the residual branch.
+    pub fn forward_residual(&mut self, x: &Matrix, residual: &Matrix, ctx: &ForwardCtx) -> Matrix {
+        self.forward_prologue(x, ctx);
+        let mut y = Matrix::zeros(x.rows(), self.d_out());
+        x.matmul_bias_residual_into(&self.weight.value, self.bias.value.row(0), residual, &mut y);
+        y
+    }
+
     fn capture_activations(&mut self, x: &Matrix) {
         let (n, d) = x.shape();
         // Reuse last step's capture buffer; every element is overwritten.
@@ -189,16 +237,11 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Matrix, ctx: &ForwardCtx) -> Matrix {
-        assert_eq!(x.cols(), self.d_in(), "Linear {}: input dim", self.name());
-        if ctx.capture_kfac && self.kfac_enabled {
-            self.capture_activations(x);
-        }
-        match &mut self.input {
-            Some(buf) => buf.clone_from(x),
-            None => self.input = Some(x.clone()),
-        }
-        let mut y = x.matmul(&self.weight.value);
-        y.add_row_broadcast(self.bias.value.row(0));
+        self.forward_prologue(x, ctx);
+        // Bias add fused into the GEMM store phase; bitwise identical to
+        // matmul + add_row_broadcast.
+        let mut y = Matrix::zeros(x.rows(), self.d_out());
+        x.matmul_bias_into(&self.weight.value, self.bias.value.row(0), &mut y);
         y
     }
 

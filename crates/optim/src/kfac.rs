@@ -550,7 +550,12 @@ fn update_curvature(state: &mut LayerKfacState, lin: &mut Linear, ema_decay: f64
 /// optionally after the Appendix A.2 block-diagonal masking.
 ///
 /// Public as the schedulable *inversion* work unit: the pipeline executor
-/// runs it per layer inside bubbles. Both factors are inverted together
+/// runs it per layer inside bubbles. The inversion itself runs on the
+/// blocked factorization engine ([`cholesky_inverse_into`]: panel Cholesky
+/// with SYRK/GEMM trailing updates, multi-RHS TRSM, identity-RHS fast
+/// path), which is bitwise identical to the naive reference
+/// ([`pipefisher_tensor::cholesky_inverse_naive_into`]) — so bubble-filled
+/// pipeline runs stay bit-for-bit reproducible against serial execution. Both factors are inverted together
 /// because the π-split couples their damping, and the fresh inverses commit
 /// only if *both* factorizations succeed — splitting `Inversion(A)` from
 /// `Inversion(B)` would break that both-or-nothing semantics. A no-op when
@@ -715,6 +720,41 @@ mod tests {
         let lhs_vec = vec_cols(&lhs);
         for (x, y) in lhs_vec.iter().zip(rhs_vec.iter()) {
             assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn refresh_inverses_matches_naive_factorization_bitwise() {
+        // 65 crosses the blocked engine's 64-wide panel edge; 40 stays
+        // inside a single panel.
+        let fa = rand_spd(65, 7);
+        let fb = rand_spd(40, 8);
+        let mut state = LayerKfacState {
+            factor_a: Some(fa.clone()),
+            factor_b: Some(fb.clone()),
+            ..Default::default()
+        };
+        let damping = 1e-3;
+        refresh_inverses(&mut state, damping, None, 1);
+
+        // Reproduce the π-split damping and invert with the naive
+        // reference factorization: the blocked engine must match bitwise.
+        let tr_a = fa.trace().max(f64::MIN_POSITIVE);
+        let tr_b = fb.trace().max(f64::MIN_POSITIVE);
+        let pi = ((tr_a / fa.rows() as f64) / (tr_b / fb.rows() as f64))
+            .sqrt()
+            .clamp(1e-6, 1e6);
+        for (factor, lam, inv) in [
+            (&fa, damping * pi, state.inv_a.as_ref().unwrap()),
+            (&fb, damping / pi, state.inv_b.as_ref().unwrap()),
+        ] {
+            let mut damped = factor.clone();
+            damped.add_diag(lam.max(1e-12));
+            let mut expect = Matrix::zeros(factor.rows(), factor.rows());
+            pipefisher_tensor::cholesky_inverse_naive_into(&damped, &mut expect).unwrap();
+            for (x, y) in inv.as_slice().iter().zip(expect.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

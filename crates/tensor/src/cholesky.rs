@@ -5,11 +5,36 @@
 //! positive definiteness, factored as `L·Lᵀ`, and inverted. The paper calls
 //! `torch.linalg.cholesky` + `torch.linalg.cholesky_inverse` per factor; the
 //! functions here are the Rust equivalents.
+//!
+//! # Blocked factorization engine
+//!
+//! [`cholesky_into`] is a left-looking *blocked* factorization: the matrix
+//! is processed in [`NB`]-wide column panels, each panel's trailing update
+//! (`P -= L₁₀·L₁₀ᵀ`) runs as one subtracting GEMM on the packed SIMD
+//! micro-kernels ([`crate::kernel::gemm_chunk_sub`]), and only the thin
+//! in-panel factorization stays scalar. [`solve_with_factor_in_place`]
+//! replaces the scalar substitution with register-tiled multi-RHS sweeps
+//! (8 right-hand-side columns per vector step kernel), parallelized over
+//! aligned column stripes.
+//!
+//! Both keep the repo's determinism contract: every output element retains
+//! one ascending-`k` accumulation chain with separately rounded multiply and
+//! add/subtract, so results are **bitwise identical** to the naive loops
+//! ([`cholesky_into_naive`], [`cholesky_inverse_naive_into`]), across kernel
+//! kinds and thread counts, and `NotPositiveDefinite` pivot indices are
+//! preserved across block boundaries. The equivalence is proptest-enforced
+//! in `crates/tensor/tests/factor_equivalence.rs`.
 
-use crate::{Matrix, TensorError};
+use crate::kernel::{self, ASrc, BSrc};
+use crate::{par, workspace, Matrix, TensorError};
 
 /// Error alias for Cholesky routines (always a [`TensorError`]).
 pub type CholeskyError = TensorError;
+
+/// Panel width of the blocked factorization — a multiple of
+/// [`kernel::ROW_ALIGN`] small enough that a panel column stays cache-warm
+/// during the in-panel sweep, large enough that trailing updates dominate.
+const NB: usize = 64;
 
 /// Computes the lower-triangular Cholesky factor `L` with `L·Lᵀ = a`.
 ///
@@ -43,7 +68,19 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
 
 /// Computes the lower-triangular Cholesky factor into `out`, which is
 /// re-dimensioned to `a.rows() × a.rows()` and fully overwritten. Bitwise
-/// identical to [`cholesky`]. On error, `out`'s contents are unspecified.
+/// identical to [`cholesky`] and to the naive reference
+/// [`cholesky_into_naive`]. On error, `out`'s contents are unspecified.
+///
+/// Blocked left-looking scheme: for each [`NB`]-wide panel starting at
+/// global column `jb`, the panel is seeded from `a`, the accumulated
+/// trailing update `P -= L[jb.., ..jb] · L[jb..jb+bw, ..jb]ᵀ` runs on the
+/// packed GEMM engine, and the panel is factored scalar. Per element this
+/// is the naive chain `src - Σ_p l·l` split at `p = jb`: the GEMM covers
+/// `p < jb` (ascending, separately rounded, partial sums round-tripped
+/// through memory — exact for `f64`), the in-panel sweep continues
+/// `jb ≤ p < j`. Identical operations in identical order ⇒ identical bits,
+/// and the first failing pivot (checked in the same column order) is
+/// identical too.
 ///
 /// # Errors
 ///
@@ -53,6 +90,112 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, CholeskyError> {
 ///
 /// Panics if `a` is not square.
 pub fn cholesky_into(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
+    assert!(a.is_square(), "cholesky: matrix must be square");
+    let n = a.rows();
+    let src = a.as_slice();
+    out.reset_shape(n, n);
+    let l = out.as_mut_slice();
+    l.fill(0.0);
+    for jb in (0..n).step_by(NB) {
+        let bw = NB.min(n - jb);
+        let prows = n - jb;
+        // Row-major prows × bw panel scratch from the arena.
+        let mut panel = workspace::take_raw(prows * bw);
+        for r in 0..prows {
+            panel[r * bw..(r + 1) * bw].copy_from_slice(&src[(jb + r) * n + jb..][..bw]);
+        }
+        if jb > 0 {
+            // Trailing update on the packed engine: for panel element
+            // (r, c), subtract Σ_{p<jb} l[jb+r][p] · l[jb+c][p].
+            let lread: &[f64] = l;
+            par::par_chunks_mut_aligned(
+                &mut panel,
+                prows,
+                bw,
+                kernel::ROW_ALIGN,
+                prows * jb * bw,
+                |start, chunk| {
+                    let rows = chunk.len() / bw;
+                    kernel::gemm_chunk_sub(
+                        chunk,
+                        rows,
+                        bw,
+                        jb,
+                        ASrc::RowMajor {
+                            data: lread,
+                            stride: n,
+                            base: jb + start,
+                        },
+                        // B(p, c) = l[(jb + c) * n + p]: the transposed view
+                        // of the panel-row block of L, read in place.
+                        BSrc::ColMajor {
+                            data: &lread[jb * n..],
+                            stride: n,
+                        },
+                    );
+                },
+            );
+        }
+        let res = factor_panel(&mut panel, prows, bw, jb);
+        if res.is_ok() {
+            // Copy back the lower-triangular part only (the upper stays 0).
+            for r in 0..prows {
+                let w = bw.min(r + 1);
+                l[(jb + r) * n + jb..][..w].copy_from_slice(&panel[r * bw..r * bw + w]);
+            }
+        }
+        workspace::put(panel);
+        res?;
+    }
+    Ok(())
+}
+
+/// Factors a seeded-and-updated `prows × bw` panel in place: column `c`
+/// finishes the naive chains for global column `jb + c` (the `p ≥ jb`
+/// terms), exactly as the naive loop orders them.
+fn factor_panel(
+    panel: &mut [f64],
+    prows: usize,
+    bw: usize,
+    jb: usize,
+) -> Result<(), CholeskyError> {
+    for c in 0..bw {
+        let mut d = panel[c * bw + c];
+        for q in 0..c {
+            let v = panel[c * bw + q];
+            d -= v * v;
+        }
+        if !d.is_finite() {
+            return Err(TensorError::NonFinite("cholesky"));
+        }
+        if d <= 0.0 {
+            return Err(TensorError::NotPositiveDefinite(jb + c));
+        }
+        let dj = d.sqrt();
+        panel[c * bw + c] = dj;
+        for r in (c + 1)..prows {
+            let mut s = panel[r * bw + c];
+            for q in 0..c {
+                s -= panel[r * bw + q] * panel[c * bw + q];
+            }
+            panel[r * bw + c] = s / dj;
+        }
+    }
+    Ok(())
+}
+
+/// The pre-blocking scalar reference implementation of [`cholesky_into`]:
+/// one element-at-a-time triple loop. Kept as the bitwise oracle for the
+/// factor-equivalence proptests and the `bench_factor` baseline column.
+///
+/// # Errors
+///
+/// Same contract as [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky_into_naive(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
     assert!(a.is_square(), "cholesky: matrix must be square");
     let n = a.rows();
     let src = a.as_slice();
@@ -96,8 +239,30 @@ pub fn cholesky_into(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> 
 ///
 /// Panics if `a` is not square or `b.rows() != a.rows()`.
 pub fn cholesky_solve(a: &Matrix, b: &Matrix) -> Result<Matrix, CholeskyError> {
-    let l = cholesky(a)?;
-    Ok(solve_with_factor(&l, b))
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    cholesky_solve_into(a, b, &mut x)?;
+    Ok(x)
+}
+
+/// Computes [`cholesky_solve`] into `out`, which is re-dimensioned to
+/// `b.rows() × b.cols()` and fully overwritten. The internal factor lives
+/// in workspace-recycled scratch (like [`cholesky_inverse_into`]), so
+/// repeated solves are steady-state alloc-free. Bitwise identical to
+/// [`cholesky_solve`]. On error, `out`'s contents are unspecified.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.rows() != a.rows()`.
+pub fn cholesky_solve_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
+    let mut l = Matrix::zeros(a.rows(), a.rows());
+    cholesky_into(a, &mut l)?;
+    out.clone_from(b);
+    solve_with_factor_in_place(&l, out, false);
+    Ok(())
 }
 
 /// Computes the inverse of an SPD matrix via Cholesky.
@@ -133,9 +298,14 @@ pub fn cholesky_inverse(a: &Matrix) -> Result<Matrix, CholeskyError> {
 
 /// Computes the inverse of an SPD matrix into `out`, which is
 /// re-dimensioned to `a.rows() × a.rows()` and fully overwritten. Bitwise
-/// identical to [`cholesky_inverse`]; the Cholesky factor lives in a
-/// recycled scratch matrix so steady-state refreshes allocate nothing.
-/// On error, `out`'s contents are unspecified.
+/// identical to [`cholesky_inverse`] and to the naive reference
+/// [`cholesky_inverse_naive_into`]; the Cholesky factor lives in a recycled
+/// scratch matrix so steady-state refreshes allocate nothing. The solve
+/// takes the identity-RHS fast path (structurally-zero leading columns of
+/// the forward substitution are skipped — exact, because subtracting
+/// `l · (+0.0)` with finite `l` is the identity), cutting the forward sweep
+/// from `n³/2` to `n³/6` multiply–subtracts. On error, `out`'s contents are
+/// unspecified.
 ///
 /// # Errors
 ///
@@ -154,22 +324,202 @@ pub fn cholesky_inverse_into(a: &Matrix, out: &mut Matrix) -> Result<(), Cholesk
     for i in 0..n {
         out[(i, i)] = 1.0;
     }
-    solve_with_factor_in_place(&l, out);
+    solve_with_factor_in_place(&l, out, true);
     out.symmetrize();
     Ok(())
 }
 
-/// Solves `L·Lᵀ·x = b` given the lower Cholesky factor `L`.
-fn solve_with_factor(l: &Matrix, b: &Matrix) -> Matrix {
-    let mut x = b.clone();
-    solve_with_factor_in_place(l, &mut x);
-    x
+/// The scalar reference implementation of [`cholesky_inverse_into`]:
+/// [`cholesky_into_naive`] plus element-at-a-time substitution. Kept as
+/// the bitwise oracle for the factor-equivalence proptests and the
+/// `bench_factor` baseline column.
+///
+/// # Errors
+///
+/// Propagates factorization failures from [`cholesky`].
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky_inverse_naive_into(a: &Matrix, out: &mut Matrix) -> Result<(), CholeskyError> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    cholesky_into_naive(a, &mut l)?;
+    out.reset_shape(n, n);
+    out.as_mut_slice().fill(0.0);
+    for i in 0..n {
+        out[(i, i)] = 1.0;
+    }
+    solve_with_factor_in_place_naive(&l, out);
+    out.symmetrize();
+    Ok(())
 }
 
-/// Solves `L·Lᵀ·x = b` in place: `x` holds `b` on entry and the solution
-/// on exit. Loop order matches the original out-of-place solve exactly,
-/// so results are bitwise identical.
-fn solve_with_factor_in_place(l: &Matrix, x: &mut Matrix) {
+/// Raw pointer to the shared RHS buffer; parallel lanes read and write only
+/// their own disjoint column stripes, so sharing is race-free.
+struct StripePtr(*mut f64);
+// SAFETY: lanes touch disjoint columns; see the struct docs.
+unsafe impl Send for StripePtr {}
+// SAFETY: as above.
+unsafe impl Sync for StripePtr {}
+
+/// Solves `L·Lᵀ·x = b` in place: `x` holds `b` on entry and the solution on
+/// exit. Blocked multi-RHS substitution: right-hand-side columns are split
+/// into [`kernel::ROW_ALIGN`]-aligned stripes (one parallel lane each), and
+/// within a stripe each 8-column tile runs full forward + backward sweeps
+/// through the dispatched [`kernel::TrsmFn`] step kernel, which vectorizes
+/// across RHS columns only. Every element keeps the naive per-column chain
+/// (ascending `p`, separate multiply and subtract, one divide), so the
+/// result is bitwise identical to [`solve_with_factor_in_place_naive`] at
+/// any kernel kind or thread count.
+///
+/// The backward sweep reads `Lᵀ` from a pre-transposed scratch copy so its
+/// inner loop is contiguous — a copy changes values not at all.
+///
+/// With `identity_rhs` set, `x` must be the seeded `n × n` identity; the
+/// forward substitution then starts each tile's rows and terms at the
+/// tile's first column, skipping work on the structurally-zero leading
+/// block of `Y = L⁻¹`. Skipped rows would compute exactly `+0.0` (their
+/// seed value) and skipped terms subtract exactly `l·(+0.0) = ±0.0`
+/// (identity on any finite partial sum), so the shortcut is bitwise-exact —
+/// *provided `L` is all-finite*, since `0·∞` would manufacture a NaN the
+/// dense sweep would have produced too but in different elements. A
+/// non-finite factor therefore falls back to the dense sweep.
+fn solve_with_factor_in_place(l: &Matrix, x: &mut Matrix, identity_rhs: bool) {
+    let n = l.rows();
+    assert_eq!(x.rows(), n, "solve_with_factor: rhs rows");
+    let m = x.cols();
+    if n == 0 || m == 0 {
+        return;
+    }
+    debug_assert!(!identity_rhs || m == n, "identity RHS must be square");
+    let identity_rhs = identity_rhs && l.all_finite();
+    let lf = l.as_slice();
+    // Lᵀ in scratch: lt[i*n + p] = lf[p*n + i], so the backward sweep's
+    // ascending-p reads are contiguous.
+    let mut lt = workspace::take_raw(n * n);
+    for p in 0..n {
+        let row = &lf[p * n..(p + 1) * n];
+        for (i, &v) in row.iter().enumerate() {
+            lt[i * n + p] = v;
+        }
+    }
+    let step = kernel::select_trsm();
+    let xp = StripePtr(x.as_mut_slice().as_mut_ptr());
+    // Per-column cost: forward (triangular from the column for identity,
+    // full otherwise) + dense backward.
+    let weight = |c: usize| {
+        let fw = if identity_rhs {
+            (n - c) * (n - c) / 2
+        } else {
+            n * n / 2
+        };
+        fw + n * n / 2
+    };
+    let work = if identity_rhs {
+        n * n * n / 6 + n * n * n / 2
+    } else {
+        n * n * m
+    };
+    par::par_row_ranges_aligned(m, kernel::ROW_ALIGN, work, weight, |c0, c1| {
+        // Capture the Send+Sync wrapper, not its raw-pointer field.
+        let xp = &xp;
+        // SAFETY: this lane owns columns [c0, c1) exclusively; solve_stripe
+        // reads and writes only those columns of the shared buffer, and the
+        // factor slices are read-only.
+        unsafe { solve_stripe(lf, &lt, n, xp.0, m, c0, c1, identity_rhs, step) };
+    });
+    workspace::put(lt);
+}
+
+/// Forward + backward substitution over RHS columns `[c0, c1)` of the
+/// shared `n × m` buffer `x`. See [`solve_with_factor_in_place`] for the
+/// contract.
+///
+/// # Safety
+///
+/// The caller must guarantee exclusive access to columns `[c0, c1)` of `x`
+/// (other lanes must not touch them), `x` valid for `n·m` elements, and
+/// `lf`/`lt` of length `n·n`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn solve_stripe(
+    lf: &[f64],
+    lt: &[f64],
+    n: usize,
+    x: *mut f64,
+    m: usize,
+    c0: usize,
+    c1: usize,
+    identity_rhs: bool,
+    step: kernel::TrsmFn,
+) {
+    const W: usize = kernel::TRSM_NR;
+    let mut c = c0;
+    while c + W <= c1 {
+        // Forward substitution: L·y = b for the 8 columns [c, c+W).
+        let first = if identity_rhs { c } else { 0 };
+        for i in first..n {
+            let lii = *lf.get_unchecked(i * n + i);
+            let acc = x.add(i * m + c);
+            // Terms p in [first, i): rows above `first` hold exact zeros in
+            // these columns on the identity path.
+            step(
+                i - first,
+                lf.as_ptr().add(i * n + first),
+                x.add(first * m + c),
+                m,
+                acc,
+            );
+            for j in 0..W {
+                *acc.add(j) /= lii;
+            }
+        }
+        // Backward substitution: Lᵀ·x = y (dense — the inverse is dense).
+        for i in (0..n).rev() {
+            let lii = *lf.get_unchecked(i * n + i);
+            let acc = x.add(i * m + c);
+            let k = n - i - 1;
+            // Guarded: at i = n-1 the term pointer would sit past the end.
+            if k > 0 {
+                step(
+                    k,
+                    lt.as_ptr().add(i * n + i + 1),
+                    x.add((i + 1) * m + c),
+                    m,
+                    acc,
+                );
+            }
+            for j in 0..W {
+                *acc.add(j) /= lii;
+            }
+        }
+        c += W;
+    }
+    // Remainder columns (< 8): identical per-element chains, one at a time.
+    for cc in c..c1 {
+        let first = if identity_rhs { cc } else { 0 };
+        for i in first..n {
+            let lii = *lf.get_unchecked(i * n + i);
+            let mut s = *x.add(i * m + cc);
+            for p in first..i {
+                s -= *lf.get_unchecked(i * n + p) * *x.add(p * m + cc);
+            }
+            *x.add(i * m + cc) = s / lii;
+        }
+        for i in (0..n).rev() {
+            let lii = *lf.get_unchecked(i * n + i);
+            let mut s = *x.add(i * m + cc);
+            for p in (i + 1)..n {
+                s -= *lt.get_unchecked(i * n + p) * *x.add(p * m + cc);
+            }
+            *x.add(i * m + cc) = s / lii;
+        }
+    }
+}
+
+/// The scalar reference substitution (the pre-blocking implementation):
+/// solves `L·Lᵀ·x = b` in place, element at a time.
+fn solve_with_factor_in_place_naive(l: &Matrix, x: &mut Matrix) {
     let n = l.rows();
     assert_eq!(x.rows(), n, "solve_with_factor: rhs rows");
     let m = x.cols();
@@ -220,7 +570,7 @@ mod tests {
 
     #[test]
     fn factor_reconstructs() {
-        for n in [1, 2, 5, 16, 40] {
+        for n in [1, 2, 5, 16, 40, 100] {
             let a = rand_spd(n, n as u64);
             let l = cholesky(&a).unwrap();
             let rebuilt = l.matmul(&l.transpose());
@@ -230,18 +580,22 @@ mod tests {
 
     #[test]
     fn factor_is_lower_triangular() {
-        let a = rand_spd(6, 3);
-        let l = cholesky(&a).unwrap();
-        for i in 0..6 {
-            for j in (i + 1)..6 {
-                assert_eq!(l[(i, j)], 0.0);
+        // 100 crosses the NB=64 panel edge, so the copy-back's triangular
+        // masking is exercised too.
+        for n in [6, 100] {
+            let a = rand_spd(n, 3);
+            let l = cholesky(&a).unwrap();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(l[(i, j)], 0.0, "n={n} ({i},{j})");
+                }
             }
         }
     }
 
     #[test]
     fn inverse_times_original_is_identity() {
-        for n in [1, 3, 10, 24] {
+        for n in [1, 3, 10, 24, 90] {
             let a = rand_spd(n, 7 + n as u64);
             let inv = cholesky_inverse(&a).unwrap();
             let prod = a.matmul(&inv);
@@ -257,6 +611,19 @@ mod tests {
         let x = cholesky_solve(&a, &b).unwrap();
         let x2 = cholesky_inverse(&a).unwrap().matmul(&b);
         assert!((&x - &x2).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = rand_spd(9, 17);
+        let b = rand_spd(9, 19);
+        let x = cholesky_solve(&a, &b).unwrap();
+        let mut out = Matrix::full(2, 2, f64::NAN);
+        cholesky_solve_into(&a, &b, &mut out).unwrap();
+        assert_eq!(x.shape(), out.shape());
+        for (w, g) in x.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
     }
 
     #[test]
@@ -277,5 +644,22 @@ mod tests {
         assert!(cholesky(&g).is_err());
         g.add_diag(1e-3);
         assert!(cholesky(&g).is_ok());
+    }
+
+    #[test]
+    fn non_finite_factor_falls_back_to_dense_solve() {
+        // A factor with an infinity must not take the identity fast path
+        // (0·∞ would differ from the dense sweep); the fallback keeps the
+        // two paths consistent. We only check it doesn't panic and returns
+        // the dense sweep's bits.
+        let mut l = Matrix::eye(4);
+        l[(2, 0)] = f64::INFINITY;
+        let mut fast = Matrix::eye(4);
+        solve_with_factor_in_place(&l, &mut fast, true);
+        let mut dense = Matrix::eye(4);
+        solve_with_factor_in_place_naive(&l, &mut dense);
+        for (w, g) in dense.as_slice().iter().zip(fast.as_slice()) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
     }
 }

@@ -109,6 +109,168 @@ impl Matrix {
         );
     }
 
+    /// Computes `self · rhs + bias` (bias broadcast over rows) into `out`,
+    /// with the bias add fused into the GEMM store phase — no second pass
+    /// over the output. Bitwise identical to [`Matrix::matmul_into`]
+    /// followed by [`Matrix::add_row_broadcast`] (the bias is added to each
+    /// element's fully accumulated dot product, exactly as the separate
+    /// pass would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `bias.len() != rhs.cols()`.
+    pub fn matmul_bias_into(&self, rhs: &Matrix, bias: &[f64], out: &mut Matrix) {
+        self.matmul_epilogue_into(rhs, out, &kernel::Epilogue::Bias { bias }, |out| {
+            out.add_row_broadcast(bias);
+        });
+    }
+
+    /// Computes `act(self · rhs + bias)` into `out` and the pre-activation
+    /// `self · rhs + bias` into `pre`, with bias and activation fused into
+    /// the GEMM store phase. Bitwise identical to [`Matrix::matmul_bias_into`]
+    /// followed by an elementwise `act` pass (the activation is applied to
+    /// each element's fully accumulated, bias-added value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `bias.len() != rhs.cols()`.
+    pub fn matmul_bias_act_into(
+        &self,
+        rhs: &Matrix,
+        bias: &[f64],
+        act: fn(f64) -> f64,
+        pre: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        let (m, n) = (self.rows(), rhs.cols());
+        pre.reset_shape(m, n);
+        // Every output element is stored by exactly one tile epilogue, so
+        // `pre` is fully overwritten; lanes write the same disjoint row
+        // ranges they own in `out`.
+        let prep = kernel::SharedOut(pre.as_mut_slice().as_mut_ptr());
+        self.matmul_epilogue_into(
+            rhs,
+            out,
+            &kernel::Epilogue::BiasAct {
+                bias,
+                act,
+                pre: &prep,
+            },
+            |out| {
+                // Degenerate k = 0: the product is all zeros; run the
+                // separate passes.
+                out.add_row_broadcast(bias);
+                for (p, o) in out.as_mut_slice().iter_mut().enumerate() {
+                    // SAFETY: serial fallback path; `pre` is m·n elements.
+                    unsafe { *prep.0.add(p) = *o };
+                    *o = act(*o);
+                }
+            },
+        );
+    }
+
+    /// Computes `(self · rhs + bias) + residual` into `out`, with bias and
+    /// residual adds fused into the GEMM store phase. Bitwise identical to
+    /// `residual + matmul_bias` computed in separate passes: IEEE 754
+    /// addition is commutative (for the finite values these paths carry),
+    /// so `(acc + bias) + res` matches `res + (acc + bias)` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`, `bias.len() != rhs.cols()`,
+    /// or `residual.shape() != (self.rows(), rhs.cols())`.
+    pub fn matmul_bias_residual_into(
+        &self,
+        rhs: &Matrix,
+        bias: &[f64],
+        residual: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            residual.shape(),
+            (self.rows(), rhs.cols()),
+            "matmul_bias_residual: residual shape"
+        );
+        let res = residual.as_slice();
+        self.matmul_epilogue_into(
+            rhs,
+            out,
+            &kernel::Epilogue::BiasResidual { bias, res },
+            |out| {
+                out.add_row_broadcast(bias);
+                for (o, &r) in out.as_mut_slice().iter_mut().zip(res) {
+                    *o += r;
+                }
+            },
+        );
+    }
+
+    /// Shared shape-handling wrapper for the fused-epilogue products:
+    /// zeroes/re-dimensions `out`, runs the chunked GEMM with `epi` fused
+    /// into the store phase, and falls back to `degenerate` (separate
+    /// passes over the zero product) when `k == 0`, where the kernel never
+    /// stores and thus never applies the epilogue.
+    fn matmul_epilogue_into(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        epi: &kernel::Epilogue<'_>,
+        degenerate: impl FnOnce(&mut Matrix),
+    ) {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul: inner dims {}x{} vs {}x{}",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let bias_len = match *epi {
+            kernel::Epilogue::Bias { bias }
+            | kernel::Epilogue::BiasAct { bias, .. }
+            | kernel::Epilogue::BiasResidual { bias, .. } => bias.len(),
+        };
+        assert_eq!(bias_len, rhs.cols(), "matmul bias: length mismatch");
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        out.reset_shape(m, n);
+        out.as_mut_slice().fill(0.0);
+        if m == 0 || n == 0 {
+            return;
+        }
+        if k == 0 {
+            degenerate(out);
+            return;
+        }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        par::par_chunks_mut_aligned(
+            out.as_mut_slice(),
+            m,
+            n,
+            kernel::ROW_ALIGN,
+            m * k * n,
+            |start, chunk| {
+                let rows = chunk.len() / n;
+                kernel::gemm_chunk_fused(
+                    chunk,
+                    rows,
+                    n,
+                    k,
+                    ASrc::RowMajor {
+                        data: a,
+                        stride: k,
+                        base: start,
+                    },
+                    BSrc::RowMajor { data: b, stride: n },
+                    start,
+                    epi,
+                );
+            },
+        );
+    }
+
     /// Computes `selfᵀ · rhs` without materializing the transpose.
     ///
     /// # Panics

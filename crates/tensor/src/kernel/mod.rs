@@ -38,6 +38,7 @@ use crate::workspace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+pub(crate) use micro::{TrsmFn, TRSM_NR};
 pub(crate) use pack::{ASrc, BSrc};
 
 /// Rows of A packed per cache-block iteration (multiple of every MR).
@@ -303,11 +304,156 @@ fn select_matvec() -> micro::MatvecFn {
     }
 }
 
+/// Picks the TRSM step kernel for the current [`kernel_kind`].
+///
+/// The factorization path has no fused-rounding variant: `Fma` maps to the
+/// same separately-rounded SIMD kernel as `Simd`, so triangular solves are
+/// bitwise identical to the scalar substitution under every setting.
+pub(crate) fn select_trsm() -> TrsmFn {
+    match (kernel_kind(), isa().0) {
+        (KernelKind::Scalar, _) => micro::trsm_step_8_scalar,
+        #[cfg(target_arch = "x86_64")]
+        (_, Isa::Avx512) => micro::trsm_step_8_avx512,
+        #[cfg(target_arch = "x86_64")]
+        (_, Isa::Avx2) => micro::trsm_step_8_avx2,
+        #[cfg(target_arch = "aarch64")]
+        (_, Isa::Neon) => micro::trsm_step_8_neon,
+        _ => micro::trsm_step_8_scalar,
+    }
+}
+
+/// Raw shared pointer to a second full-size output the epilogue writes
+/// (the pre-activation stream of the fused bias+activation path). Parallel
+/// lanes write disjoint row ranges of it — the same partition as the main
+/// output — so sharing the pointer is race-free.
+pub(crate) struct SharedOut(pub *mut f64);
+// SAFETY: lanes write disjoint regions; see the struct docs.
+unsafe impl Send for SharedOut {}
+// SAFETY: as above — no two lanes touch the same element.
+unsafe impl Sync for SharedOut {}
+
+/// An elementwise transform fused into the GEMM store phase.
+///
+/// The epilogue runs on each output tile exactly once — after the tile's
+/// *final* KC accumulation block — so every element sees
+/// `epilogue(full dot product)`, exactly what a separate post-pass over the
+/// finished matrix would compute. Because the accumulated value round-trips
+/// through memory between KC blocks anyway (exact for `f64`), fusing the
+/// transform into the last store changes no intermediate rounding: fused
+/// and separate-pass results are bitwise identical for finite inputs.
+///
+/// Row indices (`res`, the `pre` stream) are *global* matrix rows: parallel
+/// chunk callers pass their chunk's first global row as `base`.
+pub(crate) enum Epilogue<'a> {
+    /// `c[g][j] += bias[j]` — a fused row-broadcast bias add.
+    Bias {
+        /// Per-column bias, indexed by global output column.
+        bias: &'a [f64],
+    },
+    /// `pre[g][j] = c[g][j] + bias[j]; c[g][j] = act(pre[g][j])` — bias add
+    /// plus activation, streaming the pre-activation out for backward.
+    BiasAct {
+        /// Per-column bias, indexed by global output column.
+        bias: &'a [f64],
+        /// The activation, applied after the bias add.
+        act: fn(f64) -> f64,
+        /// Full-size pre-activation output (row-major, same shape as `c`'s
+        /// full matrix).
+        pre: &'a SharedOut,
+    },
+    /// `c[g][j] = (c[g][j] + bias[j]) + res[g][j]` — bias add plus residual
+    /// connection (IEEE addition commutes, so this matches `res + (c+bias)`
+    /// bitwise).
+    BiasResidual {
+        /// Per-column bias, indexed by global output column.
+        bias: &'a [f64],
+        /// Full-size residual input (row-major, same shape as `c`'s full
+        /// matrix).
+        res: &'a [f64],
+    },
+}
+
+/// Applies `epi` to the `tm × tn` output tile at chunk rows
+/// `row0..row0+tm`, global columns `col0..col0+tn` (`base` = the chunk's
+/// first global row).
+#[allow(clippy::too_many_arguments)]
+fn apply_epilogue(
+    c: &mut [f64],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    tm: usize,
+    tn: usize,
+    base: usize,
+    epi: &Epilogue<'_>,
+) {
+    for i in 0..tm {
+        let row = &mut c[(row0 + i) * n + col0..][..tn];
+        let g = base + row0 + i;
+        match *epi {
+            Epilogue::Bias { bias } => {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v += bias[col0 + j];
+                }
+            }
+            Epilogue::BiasAct { bias, act, pre } => {
+                for (j, v) in row.iter_mut().enumerate() {
+                    let p = *v + bias[col0 + j];
+                    // SAFETY: `pre` spans the full matrix; (g, col0+j) is
+                    // inside this lane's disjoint row range.
+                    unsafe { *pre.0.add(g * n + col0 + j) = p };
+                    *v = act(p);
+                }
+            }
+            Epilogue::BiasResidual { bias, res } => {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = (*v + bias[col0 + j]) + res[g * n + col0 + j];
+                }
+            }
+        }
+    }
+}
+
 /// Computes `c[i][j] += Σ_p A(i,p)·B(p,j)` over one parallel chunk of
 /// `rows × n` output (`c` pre-zeroed or mid-accumulation), with cache
 /// blocking, panel packing, and the dispatched micro-kernel.
 pub(crate) fn gemm_chunk(c: &mut [f64], rows: usize, n: usize, k: usize, a: ASrc<'_>, b: BSrc<'_>) {
-    gemm_chunk_inner(c, rows, n, k, a, b, None)
+    gemm_chunk_inner(c, rows, n, k, a, b, None, false, None)
+}
+
+/// [`gemm_chunk`] with a *subtracting* accumulation: `c[i][j] -= Σ_p
+/// A(i,p)·B(p,j)`, bitwise identical to the scalar chain `c = c - a·b`
+/// (ascending `p`, separate multiply and subtract). Implemented by negating
+/// the packed A panel — IEEE 754 makes `c + (-a)·b` round exactly like
+/// `c - a·b` — so the unmodified accumulate micro-kernels do the work.
+/// This is the blocked Cholesky's trailing-update primitive.
+pub(crate) fn gemm_chunk_sub(
+    c: &mut [f64],
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: ASrc<'_>,
+    b: BSrc<'_>,
+) {
+    gemm_chunk_inner(c, rows, n, k, a, b, None, true, None)
+}
+
+/// [`gemm_chunk`] with a fused store-phase [`Epilogue`]. `base` is the
+/// chunk's first global output row (epilogue operands index global rows).
+/// Degenerate `k == 0` inputs return without touching `c` — callers must
+/// fall back to separate passes there.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_chunk_fused(
+    c: &mut [f64],
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: ASrc<'_>,
+    b: BSrc<'_>,
+    base: usize,
+    epi: &Epilogue<'_>,
+) {
+    gemm_chunk_inner(c, rows, n, k, a, b, None, false, Some((base, epi)))
 }
 
 /// [`gemm_chunk`] for the Gram kernel: `diag` is the chunk's first global
@@ -322,9 +468,10 @@ pub(crate) fn gram_chunk(
     b: BSrc<'_>,
     diag: usize,
 ) {
-    gemm_chunk_inner(c, rows, n, k, a, b, Some(diag))
+    gemm_chunk_inner(c, rows, n, k, a, b, Some(diag), false, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_chunk_inner(
     c: &mut [f64],
     rows: usize,
@@ -333,6 +480,8 @@ fn gemm_chunk_inner(
     a: ASrc<'_>,
     b: BSrc<'_>,
     diag: Option<usize>,
+    neg: bool,
+    fused: Option<(usize, &Epilogue<'_>)>,
 ) {
     debug_assert_eq!(c.len(), rows * n);
     if rows == 0 || n == 0 || k == 0 {
@@ -352,6 +501,9 @@ fn gemm_chunk_inner(
         }
         for kb in (0..k).step_by(KC) {
             let kc = KC.min(k - kb);
+            // A tile's accumulation completes on the last KC block of its
+            // column sweep; that is the store the epilogue fuses into.
+            let last_kb = kb + kc == k;
             pack::pack_b(&mut bbuf, &b, kb, kc, jc, nc, nr);
             for ib in (0..rows).step_by(MC) {
                 let mc = MC.min(rows - ib);
@@ -359,7 +511,7 @@ fn gemm_chunk_inner(
                 if diag.is_some_and(|d| jc + nc <= d + ib) {
                     break;
                 }
-                pack::pack_a(&mut abuf, &a, ib, mc, kb, kc, mr);
+                pack::pack_a(&mut abuf, &a, ib, mc, kb, kc, mr, neg);
                 for i0 in (0..mc).step_by(mr) {
                     let tm = mr.min(mc - i0);
                     let ap = abuf[(i0 / mr) * kc * mr..].as_ptr();
@@ -392,6 +544,11 @@ fn gemm_chunk_inner(
                             for i in 0..tm {
                                 c[coff + i * n..coff + i * n + tn]
                                     .copy_from_slice(&tile[i * nr..i * nr + tn]);
+                            }
+                        }
+                        if last_kb {
+                            if let Some((base, epi)) = fused {
+                                apply_epilogue(c, n, ib + i0, jc + j0, tm, tn, base, epi);
                             }
                         }
                     }

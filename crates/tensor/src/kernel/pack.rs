@@ -40,6 +40,15 @@ pub(crate) enum BSrc<'a> {
 /// Packs rows `[ib, ib+mc)` × steps `[kb, kb+kc)` of `a` into `buf` as
 /// zero-padded MR panels (`buf[q*kc*mr + p*mr + i]`, panel `q` holding rows
 /// `q*mr..`).
+///
+/// With `neg` set, every real element is negated during the gather. IEEE 754
+/// guarantees `(-a)·b` is exactly `-(a·b)` and `c + (-(a·b))` rounds exactly
+/// like `c - a·b`, so a negated panel turns the accumulate kernels into a
+/// bitwise-exact *subtract* — this is how the blocked Cholesky trailing
+/// update reproduces the naive `s -= l·l` chain. Padding stays `0.0` (a
+/// `-0.0` pad could flip the sign of a `±0.0` partial sum in lanes that are
+/// never stored, which is harmless, but `0.0` keeps the invariant simple).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pack_a(
     buf: &mut [f64],
     a: &ASrc<'_>,
@@ -48,6 +57,7 @@ pub(crate) fn pack_a(
     kb: usize,
     kc: usize,
     mr: usize,
+    neg: bool,
 ) {
     let panels = mc.div_ceil(mr);
     for q in 0..panels {
@@ -61,8 +71,14 @@ pub(crate) fn pack_a(
                 }
                 for i in 0..tm {
                     let row = &data[(base + ib + i0 + i) * stride + kb..][..kc];
-                    for (p, &x) in row.iter().enumerate() {
-                        panel[p * mr + i] = x;
+                    if neg {
+                        for (p, &x) in row.iter().enumerate() {
+                            panel[p * mr + i] = -x;
+                        }
+                    } else {
+                        for (p, &x) in row.iter().enumerate() {
+                            panel[p * mr + i] = x;
+                        }
                     }
                 }
             }
@@ -71,7 +87,13 @@ pub(crate) fn pack_a(
                 for p in 0..kc {
                     let src = &data[(kb + p) * stride + col0..][..tm];
                     let dst = &mut panel[p * mr..p * mr + mr];
-                    dst[..tm].copy_from_slice(src);
+                    if neg {
+                        for (d, &s) in dst[..tm].iter_mut().zip(src) {
+                            *d = -s;
+                        }
+                    } else {
+                        dst[..tm].copy_from_slice(src);
+                    }
                     dst[tm..].fill(0.0);
                 }
             }

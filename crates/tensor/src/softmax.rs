@@ -50,6 +50,43 @@ pub fn softmax_inplace(logits: &mut Matrix) {
     }
 }
 
+/// Row-wise stable softmax of `scale · logits`, in place, without a
+/// separate scaling pass over the matrix.
+///
+/// The scale is applied on the fly inside the max fold and the
+/// exponentiation pass. Per element the operation sequence — round
+/// `x·scale`, fold the max, subtract, exp — is identical to
+/// [`Matrix::scale_inplace`] followed by [`softmax_inplace`], so the result
+/// is **bitwise identical** to the two-pass code; the score matrix is just
+/// traversed one fewer time. `-∞` entries (attention masks) stay `-∞`
+/// under any positive scale.
+pub fn softmax_scaled_inplace(logits: &mut Matrix, scale: f64) {
+    let cols = logits.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let max = row
+            .iter()
+            .map(|&x| x * scale)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for x in row.iter_mut() {
+            *x = (*x * scale - max).exp();
+        }
+        let sum = crate::reduce::sum_exact(row);
+        let mut it = row.chunks_exact_mut(crate::reduce::LANES);
+        for c in it.by_ref() {
+            for x in c {
+                *x /= sum;
+            }
+        }
+        for x in it.into_remainder() {
+            *x /= sum;
+        }
+    }
+}
+
 /// Row-wise stable log-softmax.
 ///
 /// Computed as `x - max - ln(Σ exp(x - max))`, avoiding overflow for large
@@ -116,6 +153,21 @@ mod tests {
         let lp = log_softmax(&logits);
         assert!(lp.all_finite());
         assert!((lp[(0, 2)] - 0.0).abs() < 1e-9); // dominant class ~ prob 1
+    }
+
+    #[test]
+    fn scaled_softmax_matches_two_pass_bitwise() {
+        // Includes a -∞ masked entry: scaling must keep it -∞ either way.
+        let mut fused =
+            Matrix::from_rows(&[&[0.3, -1.2, 2.0, f64::NEG_INFINITY], &[5.0, -3.0, 0.0, 1.5]]);
+        let mut two_pass = fused.clone();
+        let scale = 1.0 / (7.0f64).sqrt();
+        softmax_scaled_inplace(&mut fused, scale);
+        two_pass.scale_inplace(scale);
+        softmax_inplace(&mut two_pass);
+        for (a, b) in fused.as_slice().iter().zip(two_pass.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

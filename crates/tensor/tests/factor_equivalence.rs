@@ -1,0 +1,348 @@
+//! Determinism contract for the blocked factorization engine: the panel
+//! Cholesky (SYRK/GEMM trailing updates on the packed micro-kernels), the
+//! multi-RHS TRSM solve, and the identity-RHS inversion fast path are all
+//! **bitwise** identical to the naive reference loops — across sizes that
+//! straddle the 64-wide panel edge, thread counts, forced kernels, and
+//! poisoned outputs. Non-SPD inputs must report the same failing pivot
+//! index the naive loop reports, across block boundaries. The fused GEMM
+//! epilogues (bias, bias+activation, bias+residual) must match their
+//! separate-pass equivalents bit for bit.
+//!
+//! Settings are process-wide, so tests hold the shared lock and restore
+//! defaults on drop (same idiom as `kernel_dispatch.rs`).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pipefisher_tensor::kernel::{self, KernelKind};
+use pipefisher_tensor::{
+    cholesky_into, cholesky_into_naive, cholesky_inverse_into, cholesky_inverse_naive_into,
+    cholesky_solve_into, par, workspace, Matrix, TensorError,
+};
+use proptest::collection;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes tests that mutate process-wide kernel/pool settings and
+/// restores the defaults when dropped.
+struct SettingsGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl SettingsGuard {
+    fn acquire() -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        SettingsGuard(guard)
+    }
+}
+
+impl Drop for SettingsGuard {
+    fn drop(&mut self) {
+        kernel::set_kernel(None);
+        par::set_max_threads(0);
+        par::set_par_threshold(250_000);
+        workspace::reset_enabled();
+    }
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+        .generate(rng)
+}
+
+/// Symmetric strictly-diagonally-dominant (hence SPD) matrix built with
+/// scalar loops only — the input under test must not itself depend on the
+/// kernel setting being varied.
+fn random_spd(n: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = random_matrix(n, n, rng);
+    let shrink = 1.0 / (n.max(1) as f64);
+    for i in 0..n {
+        for j in 0..i {
+            let v = 0.5 * (m[(i, j)] + m[(j, i)]) * shrink;
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    for i in 0..n {
+        // Off-diagonal row sums are < 10, so 11 + |x| dominates.
+        m[(i, i)] = 11.0 + m[(i, i)].abs();
+    }
+    m
+}
+
+fn assert_bitwise(label: &str, kind: KernelKind, threads: usize, want: &Matrix, got: &Matrix) {
+    assert_eq!(
+        want.shape(),
+        got.shape(),
+        "{label}: shape @ {kind:?}/{threads}t"
+    );
+    for (i, (w, g)) in want
+        .as_slice()
+        .iter()
+        .zip(got.as_slice().iter())
+        .enumerate()
+    {
+        assert!(
+            w.to_bits() == g.to_bits(),
+            "{label}: element {i} differs @ {kind:?}/{threads}t: {w:?} vs {g:?}"
+        );
+    }
+}
+
+/// Factors and inverts `a` with the blocked engine under every
+/// kernel × thread setting and asserts bitwise identity with the naive
+/// reference (computed once: the naive loops are pure scalar code and
+/// cannot depend on the settings). Outputs are poisoned before every call.
+fn check_factor_and_inverse(a: &Matrix) {
+    let _guard = SettingsGuard::acquire();
+    par::set_par_threshold(0);
+    let mut want_l = Matrix::full(3, 7, f64::NAN);
+    let res_naive = cholesky_into_naive(a, &mut want_l);
+    let mut want_inv = Matrix::full(3, 7, f64::NAN);
+    let inv_naive = cholesky_inverse_naive_into(a, &mut want_inv);
+    for kind in [KernelKind::Scalar, KernelKind::Simd] {
+        kernel::set_kernel(Some(kind));
+        for threads in [1usize, 4] {
+            par::set_max_threads(threads);
+            let mut got_l = Matrix::full(3, 7, f64::NAN);
+            let res = cholesky_into(a, &mut got_l);
+            assert_eq!(res, res_naive, "factor result @ {kind:?}/{threads}t");
+            if res.is_ok() {
+                assert_bitwise("cholesky", kind, threads, &want_l, &got_l);
+            }
+            let mut got_inv = Matrix::full(3, 7, f64::NAN);
+            let inv = cholesky_inverse_into(a, &mut got_inv);
+            assert_eq!(inv, inv_naive, "inverse result @ {kind:?}/{threads}t");
+            if inv.is_ok() {
+                assert_bitwise("inverse", kind, threads, &want_inv, &got_inv);
+            }
+        }
+    }
+}
+
+/// Sizes biased at the blocked engine's NB = 64 panel edges: empty, single
+/// element, inside one panel, the edge itself, straddling, and multi-panel
+/// non-multiples.
+fn factor_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        2usize..63,
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        66usize..130,
+        Just(192usize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blocked_cholesky_matches_naive_bitwise(n in factor_dim()) {
+        let mut rng = StdRng::seed_from_u64(n as u64 * 2_654_435_761 + 17);
+        let a = random_spd(n, &mut rng);
+        check_factor_and_inverse(&a);
+    }
+
+    #[test]
+    fn blocked_solve_matches_inline_oracle_bitwise(
+        n in prop_oneof![Just(1usize), 2usize..63, Just(64usize), Just(65usize), 66usize..100],
+        m in prop_oneof![Just(1usize), 2usize..20],
+    ) {
+        let mut rng = StdRng::seed_from_u64(n as u64 * 97 + m as u64);
+        let a = random_spd(n, &mut rng);
+        let b = random_matrix(n, m, &mut rng);
+
+        // Independent oracle: naive Cholesky plus forward/backward
+        // substitution written inline, with the same per-element
+        // accumulation chains (ascending p, separate multiply and
+        // subtract) the engine contract guarantees.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for p in 0..j {
+                    s -= l[i * n + p] * l[j * n + p];
+                }
+                l[i * n + j] = if i == j { s.sqrt() } else { s / l[j * n + j] };
+            }
+        }
+        let mut x = vec![0.0f64; n * m];
+        for j in 0..m {
+            for i in 0..n {
+                let mut s = b[(i, j)];
+                for p in 0..i {
+                    s -= l[i * n + p] * x[p * m + j];
+                }
+                x[i * m + j] = s / l[i * n + i];
+            }
+            for i in (0..n).rev() {
+                let mut s = x[i * m + j];
+                for p in i + 1..n {
+                    s -= l[p * n + i] * x[p * m + j];
+                }
+                x[i * m + j] = s / l[i * n + i];
+            }
+        }
+
+        let _guard = SettingsGuard::acquire();
+        par::set_par_threshold(0);
+        for kind in [KernelKind::Scalar, KernelKind::Simd] {
+            kernel::set_kernel(Some(kind));
+            for threads in [1usize, 4] {
+                par::set_max_threads(threads);
+                let mut out = Matrix::full(2, 2, f64::NAN);
+                cholesky_solve_into(&a, &b, &mut out).unwrap();
+                assert_eq!(out.shape(), (n, m));
+                for (i, (g, w)) in out.as_slice().iter().zip(x.iter()).enumerate() {
+                    prop_assert!(
+                        g.to_bits() == w.to_bits(),
+                        "solve element {i} differs @ {kind:?}/{threads}t: {g:?} vs {w:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The BERT-Base K-FAC factor sizes the paper's Invert work unit runs on:
+/// 769 = d_model + 1 (bias-augmented A-factor). Multi-panel, non-multiple
+/// of NB.
+#[test]
+fn bert_factor_size_769_blocked_matches_naive_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0x769);
+    let a = random_spd(769, &mut rng);
+    check_factor_and_inverse(&a);
+}
+
+/// A failing pivot must surface the same `NotPositiveDefinite(index)` the
+/// naive loop reports, wherever it falls relative to the 64-wide panels —
+/// first column, panel edges, interior, and last column.
+#[test]
+fn failing_pivot_index_is_preserved_across_blocks() {
+    let n = 130;
+    for &p in &[0usize, 1, 62, 63, 64, 65, 100, 129] {
+        let mut rng = StdRng::seed_from_u64(p as u64 + 7);
+        let mut a = random_spd(n, &mut rng);
+        // A negative diagonal forces the pivot at exactly `p`: columns
+        // before `p` never read it, and the Schur complement at `p` is
+        // at most the (negative) diagonal entry.
+        a[(p, p)] = -1.0;
+        let _guard = SettingsGuard::acquire();
+        par::set_par_threshold(0);
+        let mut naive_out = Matrix::zeros(1, 1);
+        let want = cholesky_into_naive(&a, &mut naive_out);
+        assert_eq!(want, Err(TensorError::NotPositiveDefinite(p)));
+        for kind in [KernelKind::Scalar, KernelKind::Simd] {
+            kernel::set_kernel(Some(kind));
+            for threads in [1usize, 4] {
+                par::set_max_threads(threads);
+                let mut out = Matrix::zeros(1, 1);
+                assert_eq!(
+                    cholesky_into(&a, &mut out),
+                    want,
+                    "pivot {p} @ {kind:?}/{threads}t"
+                );
+            }
+        }
+    }
+}
+
+/// GELU-shaped activation for the epilogue test, written locally so the
+/// tensor crate needs no dev-dependency on the nn crate.
+fn gelu_like(x: f64) -> f64 {
+    0.5 * x * (1.0 + (0.797_884_560_802_865_4 * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Fused store epilogues (bias / bias+activation / bias+residual) must be
+/// bitwise identical to the separate-pass computations, for every kernel
+/// and thread count, including ragged tile edges and cache-block crossings.
+#[test]
+fn fused_epilogues_match_separate_passes_bitwise() {
+    let mut rng = StdRng::seed_from_u64(0xE91);
+    for &(m, k, n) in &[
+        (1usize, 1usize, 1usize),
+        (3, 5, 7),
+        (13, 300, 17), // k crosses KC: epilogue must fire on the LAST block only
+        (33, 9, 40),
+        (130, 7, 9), // m crosses MC
+    ] {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let bias: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let res = random_matrix(m, n, &mut rng);
+
+        let _guard = SettingsGuard::acquire();
+        par::set_par_threshold(0);
+        for kind in [KernelKind::Scalar, KernelKind::Simd] {
+            kernel::set_kernel(Some(kind));
+            for threads in [1usize, 4] {
+                par::set_max_threads(threads);
+
+                // Separate-pass references under the same settings.
+                let mut base = Matrix::full(2, 2, f64::NAN);
+                a.matmul_into(&b, &mut base);
+                let mut want_bias = base.clone();
+                want_bias.add_row_broadcast(&bias);
+                let want_act = want_bias.map(gelu_like);
+                let mut want_res = want_bias.clone();
+                for (o, &r) in want_res.as_mut_slice().iter_mut().zip(res.as_slice()) {
+                    *o += r;
+                }
+
+                let mut got = Matrix::full(2, 2, f64::NAN);
+                a.matmul_bias_into(&b, &bias, &mut got);
+                assert_bitwise("bias", kind, threads, &want_bias, &got);
+
+                let mut pre = Matrix::full(3, 3, f64::NAN);
+                a.matmul_bias_act_into(&b, &bias, gelu_like, &mut pre, &mut got);
+                assert_bitwise("bias+act out", kind, threads, &want_act, &got);
+                assert_bitwise("bias+act pre", kind, threads, &want_bias, &pre);
+
+                a.matmul_bias_residual_into(&b, &bias, &res, &mut got);
+                assert_bitwise("bias+residual", kind, threads, &want_res, &got);
+            }
+        }
+    }
+}
+
+/// k = 0 degenerate products still apply the full epilogue (bias, act,
+/// residual over an all-zero product) via the serial fallback.
+#[test]
+fn degenerate_k0_epilogues() {
+    let (m, n) = (4usize, 6usize);
+    let a = Matrix::zeros(m, 0);
+    let b = Matrix::zeros(0, n);
+    let bias: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+    let mut rng = StdRng::seed_from_u64(9);
+    let res = random_matrix(m, n, &mut rng);
+
+    let mut got = Matrix::full(1, 1, f64::NAN);
+    a.matmul_bias_into(&b, &bias, &mut got);
+    for r in 0..m {
+        for c in 0..n {
+            assert_eq!(got[(r, c)].to_bits(), bias[c].to_bits());
+        }
+    }
+
+    let mut pre = Matrix::full(1, 1, f64::NAN);
+    a.matmul_bias_act_into(&b, &bias, gelu_like, &mut pre, &mut got);
+    for r in 0..m {
+        for c in 0..n {
+            assert_eq!(pre[(r, c)].to_bits(), bias[c].to_bits());
+            assert_eq!(got[(r, c)].to_bits(), gelu_like(bias[c]).to_bits());
+        }
+    }
+
+    a.matmul_bias_residual_into(&b, &bias, &res, &mut got);
+    for r in 0..m {
+        for c in 0..n {
+            assert_eq!(got[(r, c)].to_bits(), (bias[c] + res[(r, c)]).to_bits());
+        }
+    }
+}

@@ -64,6 +64,7 @@ fn kernel_pass(
     out_gram: &mut Matrix,
     out_inv: &mut Matrix,
     out_chol: &mut Matrix,
+    out_solve: &mut Matrix,
     out_vec: &mut [f64],
 ) {
     a.matmul_into(b, out_mm);
@@ -73,6 +74,9 @@ fn kernel_pass(
     a.matvec_into(v, out_vec);
     pipefisher::tensor::cholesky_into(spd, out_chol).expect("spd");
     cholesky_inverse_into(spd, out_inv).expect("spd");
+    // Multi-RHS solve: its internal factor and TRSM scratch come from the
+    // warmed workspace arena.
+    pipefisher::tensor::cholesky_solve_into(spd, b, out_solve).expect("spd");
     // Allocating wrappers: pool hit on checkout, checkin on drop.
     let tmp = a.matmul(b);
     drop(tmp);
@@ -92,7 +96,8 @@ fn kernel_hot_path_is_allocation_free_after_warmup() {
     let mut spd = a.gram(); // k×k Gram is symmetric PSD...
     spd.add_diag(1.0); // ...and +I makes it positive definite.
     let v: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-    let (mut mm, mut tn, mut nt, mut gram, mut inv, mut chol) = (
+    let (mut mm, mut tn, mut nt, mut gram, mut inv, mut chol, mut solve) = (
+        Matrix::default(),
         Matrix::default(),
         Matrix::default(),
         Matrix::default(),
@@ -116,6 +121,7 @@ fn kernel_hot_path_is_allocation_free_after_warmup() {
             &mut gram,
             &mut inv,
             &mut chol,
+            &mut solve,
             &mut out_vec,
         );
     }
@@ -133,6 +139,7 @@ fn kernel_hot_path_is_allocation_free_after_warmup() {
             &mut gram,
             &mut inv,
             &mut chol,
+            &mut solve,
             &mut out_vec,
         );
     }

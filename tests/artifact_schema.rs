@@ -65,6 +65,7 @@ fn artifacts_exist() {
         .collect();
     for required in [
         "BENCH_alloc.json",
+        "BENCH_factor.json",
         "BENCH_gemm.json",
         "BENCH_pipeline.json",
         "SOAK.json",
@@ -152,6 +153,47 @@ fn gemm_bench_rows_have_required_keys() {
             .and_then(Value::as_f64)
             .unwrap_or(-1.0);
         assert!(gflops > 0.0, "results[{i}]: non-positive scalar_gflops");
+    }
+}
+
+#[test]
+fn factor_bench_rows_have_required_keys() {
+    let v = load(&repo_root().join("BENCH_factor.json"));
+    assert!(
+        v.get("simd").and_then(Value::as_str).is_some(),
+        "missing string key 'simd' (detected ISA the blocked column ran on)"
+    );
+    let rows = v
+        .get("results")
+        .and_then(Value::as_array)
+        .expect("'results' array");
+    assert!(!rows.is_empty(), "empty results");
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["n", "naive_gflops", "blocked_gflops", "speedup"] {
+            assert!(row.get(key).is_some(), "results[{i}]: missing '{key}'");
+        }
+        assert!(
+            row.get("n").and_then(Value::as_i64).unwrap_or(0) >= 1,
+            "results[{i}]: bad factor size"
+        );
+        let gflops = row
+            .get("naive_gflops")
+            .and_then(Value::as_f64)
+            .unwrap_or(-1.0);
+        assert!(gflops > 0.0, "results[{i}]: non-positive naive_gflops");
+    }
+    // The acceptance bar: the blocked engine must be at least 2x the naive
+    // loop at both BERT-Base K-FAC factor sizes.
+    for &want_n in &[769i64, 3073] {
+        let row = rows
+            .iter()
+            .find(|r| r.get("n").and_then(Value::as_i64) == Some(want_n))
+            .unwrap_or_else(|| panic!("no results row for n={want_n}"));
+        let speedup = row.get("speedup").and_then(Value::as_f64).unwrap_or(0.0);
+        assert!(
+            speedup >= 2.0,
+            "blocked speedup at n={want_n} is {speedup:.2}x, below the 2x bar"
+        );
     }
 }
 

@@ -196,6 +196,54 @@ fn unfilled_bubbles_produce_identical_results() {
     assert_eq!(a.1, b.1, "parameters depend on bubble filling");
 }
 
+/// Every-step inversion at factor sizes that straddle the blocked
+/// factorization engine's 64-wide panels (d_model = 64 ⇒ bias-augmented
+/// A-factor 65; d_ff = 128 ⇒ A-factor 129): the blocked Cholesky/TRSM
+/// inversion running as bubble-filled Invert work inside pipeline steps
+/// must stay bitwise-identical to the serial loop.
+#[test]
+fn blocked_inversion_in_bubbles_matches_serial_bitwise() {
+    let _gate = par_lock();
+    let (steps, n_micro) = (4, 4);
+    let config = BertConfig {
+        vocab_size: 36,
+        max_seq: 16,
+        d_model: 64,
+        d_ff: 128,
+        n_heads: 4,
+        n_layers: 2,
+    };
+    let choice = OptimizerChoice::Kfac {
+        weight_decay: 0.01,
+        kfac: KfacConfig {
+            damping: 3e-2,
+            ema_decay: 0.5,
+            curvature_interval: 1,
+            inversion_interval: 1,
+            kl_clip: Some(1e-2),
+            factor_block_size: None,
+        },
+    };
+    let reference = serial_reference(&config, &choice, steps, n_micro);
+    for scheme in schemes_for(2) {
+        let mut opts = PipelineOptions::new(scheme, 2, n_micro);
+        opts.fill_bubbles = true;
+        let got = pipelined_bits(&config, &choice, steps, &opts, 4);
+        assert_eq!(
+            got.0,
+            reference.0,
+            "loss trajectory diverged: {}",
+            scheme.name()
+        );
+        assert_eq!(
+            got.1,
+            reference.1,
+            "final parameters diverged: {}",
+            scheme.name()
+        );
+    }
+}
+
 #[test]
 fn injected_panic_aborts_with_stage_panic_error() {
     let _gate = par_lock();
