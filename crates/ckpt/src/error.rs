@@ -1,0 +1,171 @@
+//! Structured checkpoint failure modes.
+
+use std::fmt;
+
+/// Why a checkpoint could not be decoded, validated, or persisted.
+///
+/// Every variant names what was being read and what disagreed, so a refusal
+/// to resume is always diagnosable; none of the decode paths panic on
+/// untrusted bytes.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The file does not start with the `PFCK` magic.
+    BadMagic {
+        /// The first bytes actually found (zero-padded if short).
+        found: [u8; 4],
+    },
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version stamped in the file.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The byte stream ended before a declared structure was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: String,
+        /// Bytes the structure needed.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// The section table's CRC32 does not match its bytes.
+    BadTableChecksum {
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the header + table bytes.
+        computed: u32,
+    },
+    /// A section payload's CRC32 does not match its bytes.
+    BadSectionChecksum {
+        /// Section whose payload failed validation.
+        section: String,
+        /// CRC stored in the table.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A required section is absent from the snapshot.
+    MissingSection {
+        /// The absent section.
+        section: String,
+    },
+    /// A structural invariant of the encoding was violated (duplicate
+    /// section names, non-UTF-8 strings, trailing bytes, impossible
+    /// lengths, unknown enum tags, …).
+    Malformed {
+        /// What was wrong, and where.
+        detail: String,
+    },
+    /// A named tensor's stored shape disagrees with the live one.
+    ShapeMismatch {
+        /// Tensor (parameter / optimizer-state entry) name.
+        name: String,
+        /// `(rows, cols)` the live structure expects.
+        expected: (usize, usize),
+        /// `(rows, cols)` stored in the checkpoint.
+        found: (usize, usize),
+    },
+    /// The checkpoint names state the live structure does not have (e.g. a
+    /// parameter that does not exist in the model being restored).
+    UnknownEntry {
+        /// What kind of structure was being restored.
+        context: String,
+        /// The unmatched name.
+        name: String,
+    },
+    /// The checkpoint was written by a different optimizer than the one
+    /// being restored into.
+    OptimizerMismatch {
+        /// Optimizer label of the live run.
+        expected: String,
+        /// Optimizer label stored in the checkpoint.
+        found: String,
+    },
+    /// Filesystem I/O failed.
+    Io {
+        /// What was being done (path included).
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not a checkpoint: bad magic {found:02x?} (want \"PFCK\")"
+                )
+            }
+            CkptError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {supported})"
+            ),
+            CkptError::Truncated {
+                context,
+                needed,
+                have,
+            } => write!(
+                f,
+                "truncated checkpoint while reading {context}: need {needed} bytes, have {have}"
+            ),
+            CkptError::BadTableChecksum { stored, computed } => write!(
+                f,
+                "section table checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+            CkptError::BadSectionChecksum {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section '{section}' checksum mismatch: stored {stored:08x}, \
+                 computed {computed:08x}"
+            ),
+            CkptError::MissingSection { section } => {
+                write!(f, "checkpoint is missing required section '{section}'")
+            }
+            CkptError::Malformed { detail } => write!(f, "malformed checkpoint: {detail}"),
+            CkptError::ShapeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch for '{name}': live {}x{}, checkpoint {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            CkptError::UnknownEntry { context, name } => {
+                write!(f, "checkpoint {context} names unknown entry '{name}'")
+            }
+            CkptError::OptimizerMismatch { expected, found } => write!(
+                f,
+                "checkpoint was written by optimizer '{found}', cannot restore into '{expected}'"
+            ),
+            CkptError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CkptError {
+    /// Builds an [`CkptError::Io`] with a contextual message.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> CkptError {
+        CkptError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Golden-file pin: the v1 byte format may never drift.
+//!
+//! A checkpoint written by any past build of this repo must load in any
+//! future build, so the exact bytes of a representative snapshot are
+//! committed at `tests/golden/ckpt_v1.bin`. If an intentional format
+//! change bumps `FORMAT_VERSION`, regenerate with
+//!
+//! ```text
+//! PIPEFISHER_BLESS=1 cargo test -p pipefisher-ckpt --test golden
+//! ```
+//!
+//! and commit the new file alongside the version bump. A failure here
+//! without a version bump is a silent format break.
+
+use pipefisher_ckpt::{SectionWriter, Snapshot};
+use pipefisher_tensor::Matrix;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("ckpt_v1.bin")
+}
+
+/// A fixed snapshot exercising every codec primitive: scalars, strings,
+/// matrices (incl. a 0×3 degenerate and special float values), optional
+/// matrices both present and absent, and an empty section.
+fn golden_snapshot() -> Snapshot {
+    let mut meta = SectionWriter::new();
+    meta.u64(42);
+    meta.u32(7);
+    meta.str("K-FAC");
+    meta.f64_bits(-0.0);
+    meta.f64_bits(f64::from_bits(0x7FF8_0000_DEAD_BEEF));
+
+    let mut model = SectionWriter::new();
+    model.matrix(&Matrix::from_vec(
+        2,
+        3,
+        vec![
+            1.0,
+            -1.5,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest subnormal
+            f64::INFINITY,
+            -0.0,
+        ],
+    ));
+    model.matrix(&Matrix::from_vec(0, 3, Vec::new()));
+
+    let mut optim = SectionWriter::new();
+    optim.opt_matrix(Some(&Matrix::from_vec(1, 2, vec![3.25, -4.75])));
+    optim.opt_matrix(None);
+    optim.u8(1);
+
+    let mut snap = Snapshot::new();
+    snap.push_section("meta", meta.into_bytes());
+    snap.push_section("model", model.into_bytes());
+    snap.push_section("optim", optim.into_bytes());
+    snap.push_section("empty", Vec::new());
+    snap
+}
+
+#[test]
+fn golden_v1_bytes_are_pinned() {
+    let encoded = golden_snapshot().encode();
+    let path = golden_path();
+    if std::env::var("PIPEFISHER_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &encoded).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with PIPEFISHER_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        encoded, want,
+        "checkpoint byte format drifted from the committed v1 golden file; \
+         if intentional, bump FORMAT_VERSION and re-bless"
+    );
+    // And the committed bytes still decode to the same logical content.
+    let decoded = Snapshot::decode(&want).expect("golden file decodes");
+    assert_eq!(decoded.sections().count(), 4);
+    assert_eq!(
+        decoded.require("meta").unwrap(),
+        golden_snapshot().require("meta").unwrap()
+    );
+}

@@ -1,0 +1,156 @@
+//! Property tests: everything the codec writes reads back bitwise.
+//!
+//! The checkpoint format's whole job is byte-exact round-trips — resume
+//! correctness is proven bitwise downstream, so the serialization layer
+//! must not lose a single bit, including NaN payloads, signed zeros,
+//! subnormals, and degenerate (0-dimension) matrix shapes.
+
+use pipefisher_ckpt::{SectionReader, SectionWriter, Snapshot};
+use pipefisher_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    // Shapes include 0 rows and/or 0 columns; payloads are raw u64 bit
+    // patterns reinterpreted as f64, so every float class (NaN with
+    // arbitrary payload bits, ±0.0, ±inf, subnormals) appears.
+    (0usize..5, 0usize..5).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(0u64..u64::MAX, rows * cols).prop_map(move |bits| {
+            Matrix::from_vec(rows, cols, bits.into_iter().map(f64::from_bits).collect())
+        })
+    })
+}
+
+fn matrix_bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_round_trips_bitwise(m in matrix_strategy()) {
+        let mut w = SectionWriter::new();
+        w.matrix(&m);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new("m", &bytes);
+        let back = r.matrix().unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(back.shape(), m.shape());
+        prop_assert_eq!(matrix_bits(&back), matrix_bits(&m));
+    }
+
+    #[test]
+    fn optional_matrix_round_trips(m in matrix_strategy(), present in 0u64..2) {
+        let opt = if present == 1 { Some(m) } else { None };
+        let mut w = SectionWriter::new();
+        w.opt_matrix(opt.as_ref());
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new("m", &bytes);
+        let back = r.opt_matrix().unwrap();
+        r.finish().unwrap();
+        match (&opt, &back) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(matrix_bits(a), matrix_bits(b));
+            }
+            _ => prop_assert!(false, "presence flag lost in round trip"),
+        }
+    }
+
+    #[test]
+    fn scalar_mix_round_trips(
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        f in 0u64..u64::MAX,
+        slen in 0usize..=24,
+        sbytes in proptest::collection::vec(b'a'..=b'z', 24),
+    ) {
+        let s: String = sbytes[..slen].iter().map(|&b| b as char).collect();
+        let mut w = SectionWriter::new();
+        w.u64(a);
+        w.u32(b);
+        w.f64_bits(f64::from_bits(f));
+        w.str(&s);
+        let bytes = w.into_bytes();
+        let mut r = SectionReader::new("mix", &bytes);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.u32().unwrap(), b);
+        prop_assert_eq!(r.f64_bits().unwrap().to_bits(), f);
+        prop_assert_eq!(r.str().unwrap(), s);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_encode_decode_preserves_sections(
+        count in 0usize..=6,
+        lens in proptest::collection::vec(0usize..64, 6),
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255u8, 64),
+            6,
+        ),
+    ) {
+        let payloads: Vec<Vec<u8>> = (0..count)
+            .map(|i| raw[i][..lens[i]].to_vec())
+            .collect();
+        let mut snap = Snapshot::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            snap.push_section(format!("sec{i}"), payload.clone());
+        }
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(decoded.sections().count(), payloads.len());
+        for (i, payload) in payloads.iter().enumerate() {
+            prop_assert_eq!(decoded.require(&format!("sec{i}")).unwrap(), &payload[..]);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(
+        len in 0usize..=96,
+        raw in proptest::collection::vec(0u8..=255u8, 96),
+    ) {
+        let payload = raw[..len].to_vec();
+        // Same logical content must always produce the same bytes — the
+        // serial-vs-pipelined checkpoint equality tests depend on it.
+        let build = || {
+            let mut snap = Snapshot::new();
+            snap.push_section("meta", vec![1, 2, 3]);
+            snap.push_section("payload", payload.clone());
+            snap.encode()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}
+
+/// The named special values, exhaustively, outside proptest so a failure
+/// names the exact value.
+#[test]
+fn special_float_values_round_trip_bitwise() {
+    let specials: Vec<f64> = vec![
+        0.0,
+        -0.0,
+        f64::NAN,
+        -f64::NAN,
+        f64::from_bits(0x7FF8_0000_DEAD_BEEF), // NaN with payload bits
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,                     // smallest normal
+        f64::from_bits(1),                     // smallest subnormal
+        f64::from_bits(0x000F_FFFF_FFFF_FFFF), // largest subnormal
+        f64::MAX,
+        f64::MIN,
+    ];
+    let m = Matrix::from_vec(3, 4, specials.clone());
+    let mut w = SectionWriter::new();
+    w.matrix(&m);
+    let bytes = w.into_bytes();
+    let mut r = SectionReader::new("specials", &bytes);
+    let back = r.matrix().unwrap();
+    r.finish().unwrap();
+    for (i, (want, got)) in specials.iter().zip(back.as_slice()).enumerate() {
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "value {i} ({want}) changed bits in round trip"
+        );
+    }
+}

@@ -143,6 +143,63 @@ pub fn train_pipeline(argv: &[String]) -> Result<Option<TrainPipeline>, String> 
     }))
 }
 
+/// Parses the `train` checkpoint flags into [`CheckpointOptions`]:
+/// `--checkpoint-dir DIR [--checkpoint-every N] [--checkpoint-retain R]`
+/// enables saving (`every` defaults to 0 — final step only; the final step
+/// always saves), and `--resume latest|PATH` restores before the first
+/// step (`latest` picks the newest generation in `--checkpoint-dir`).
+/// `Ok(None)` means no checkpoint flag was given; dependent flags without
+/// their anchor are rejected instead of silently ignored.
+pub fn train_checkpoint(
+    argv: &[String],
+) -> Result<Option<pipefisher_lm::CheckpointOptions>, String> {
+    use pipefisher_lm::{CheckpointOptions, CheckpointPolicy, ResumeFrom};
+    let dir = flag_value(argv, "--checkpoint-dir");
+    if dir.is_none() {
+        for flag in ["--checkpoint-every", "--checkpoint-retain"] {
+            if flag_value(argv, flag).is_some() {
+                return Err(format!("{flag} requires --checkpoint-dir"));
+            }
+        }
+    }
+    let save = dir
+        .map(|d| -> Result<CheckpointPolicy, String> {
+            let every: usize = flag_value(argv, "--checkpoint-every")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| format!("bad --checkpoint-every '{s}'"))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            let retain: usize = flag_value(argv, "--checkpoint-retain")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| format!("bad --checkpoint-retain '{s}'"))
+                })
+                .transpose()?
+                .unwrap_or(3);
+            if retain == 0 {
+                return Err("--checkpoint-retain must be >= 1".into());
+            }
+            let mut policy = CheckpointPolicy::new(d, every);
+            policy.retain = retain;
+            Ok(policy)
+        })
+        .transpose()?;
+    let resume = match flag_value(argv, "--resume") {
+        None => None,
+        Some("latest") => {
+            let d = dir.ok_or("--resume latest requires --checkpoint-dir")?;
+            Some(ResumeFrom::Latest(d.into()))
+        }
+        Some(path) => Some(ResumeFrom::Path(path.into())),
+    };
+    if save.is_none() && resume.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(CheckpointOptions { save, resume }))
+}
+
 /// Parses `soak [N] [--seed S] [--threads T] [--out FILE]` into a
 /// harness config plus the report path (default `results/SOAK.json`).
 pub fn soak_config(argv: &[String]) -> Result<(pipefisher_harness::SoakConfig, String), String> {
@@ -354,6 +411,78 @@ mod tests {
         assert!(graph(&argv(&["async", "2", "4", "--steps", "x"])).is_err());
         assert!(graph(&argv(&["nope", "2", "4"])).is_err());
         assert!(graph(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn train_checkpoint_round_trips_every_flag() {
+        use pipefisher_lm::ResumeFrom;
+        // No checkpoint flags → plain run.
+        assert!(train_checkpoint(&argv(&["kfac", "9"])).unwrap().is_none());
+        // Save-only, defaults: final-step-only saves, retain 3.
+        let opts = train_checkpoint(&argv(&["kfac", "9", "--checkpoint-dir", "ck"]))
+            .unwrap()
+            .unwrap();
+        let policy = opts.save.unwrap();
+        assert_eq!(policy.dir, std::path::PathBuf::from("ck"));
+        assert_eq!((policy.every, policy.retain), (0, 3));
+        assert!(opts.resume.is_none());
+        // Every flag at once; `--resume latest` resolves against the dir.
+        let opts = train_checkpoint(&argv(&[
+            "kfac",
+            "9",
+            "--checkpoint-dir",
+            "ck",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-retain",
+            "5",
+            "--resume",
+            "latest",
+        ]))
+        .unwrap()
+        .unwrap();
+        let policy = opts.save.unwrap();
+        assert_eq!((policy.every, policy.retain), (2, 5));
+        assert!(matches!(
+            opts.resume,
+            Some(ResumeFrom::Latest(d)) if d == std::path::Path::new("ck")
+        ));
+        // Resume from an explicit file needs no save dir.
+        let opts = train_checkpoint(&argv(&["kfac", "9", "--resume", "x.pfck"]))
+            .unwrap()
+            .unwrap();
+        assert!(opts.save.is_none());
+        assert!(matches!(
+            opts.resume,
+            Some(ResumeFrom::Path(p)) if p == std::path::Path::new("x.pfck")
+        ));
+    }
+
+    #[test]
+    fn train_checkpoint_rejects_orphan_and_bad_flags() {
+        for bad in [
+            argv(&["kfac", "9", "--checkpoint-every", "2"]),
+            argv(&["kfac", "9", "--checkpoint-retain", "2"]),
+            argv(&["kfac", "9", "--resume", "latest"]),
+            argv(&[
+                "kfac",
+                "9",
+                "--checkpoint-dir",
+                "ck",
+                "--checkpoint-every",
+                "x",
+            ]),
+            argv(&[
+                "kfac",
+                "9",
+                "--checkpoint-dir",
+                "ck",
+                "--checkpoint-retain",
+                "0",
+            ]),
+        ] {
+            assert!(train_checkpoint(&bad).is_err(), "accepted: {bad:?}");
+        }
     }
 
     #[test]

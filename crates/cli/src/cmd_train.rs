@@ -1,7 +1,9 @@
 //! `pipefisher train` — pretrain a tiny BERT on the synthetic language.
 
 use crate::args;
-use pipefisher_lm::{BatchSampler, OptimizerChoice, PipelineOptions, SyntheticLanguage, Trainer};
+use pipefisher_lm::{
+    BatchSampler, OptimizerChoice, PipelineOptions, SyntheticLanguage, TrainOptions, Trainer,
+};
 use pipefisher_nn::{BertConfig, BertForPreTraining};
 use pipefisher_optim::{KfacConfig, LrSchedule};
 use rand::rngs::StdRng;
@@ -54,6 +56,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         power: 0.5,
     };
     let pipeline = args::train_pipeline(args)?;
+    let ckpt = args::train_checkpoint(args)?;
 
     let mut trainer = Trainer::new(sampler, 16, schedule, seed);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -61,6 +64,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let run = if let Some(p) = pipeline {
         let mut opts = PipelineOptions::new(p.scheme, p.stages, p.n_micro);
         opts.fill_bubbles = p.fill_bubbles;
+        if let Some(c) = &ckpt {
+            opts.checkpoint = c.save.clone();
+            opts.resume = c.resume.clone();
+        }
         let outcome = trainer
             .run_pipelined(model, &choice, steps, &opts)
             .map_err(|e| e.to_string())?;
@@ -81,9 +88,30 @@ pub fn run(args: &[String]) -> Result<(), String> {
         );
         drop(outcome.model); // trained weights; the CLI only reports losses
         outcome.run
+    } else if let Some(c) = &ckpt {
+        trainer
+            .run_checkpointed(
+                &mut model,
+                &choice,
+                steps,
+                &TrainOptions {
+                    accumulation_steps: 1,
+                    grad_delay: 0,
+                },
+                c,
+            )
+            .map_err(|e| e.to_string())?
     } else {
         trainer.run(&mut model, &choice, steps)
     };
+    if let Some(policy) = ckpt.as_ref().and_then(|c| c.save.as_ref()) {
+        eprintln!(
+            "checkpoints in {} (every {} step(s), retain {})",
+            policy.dir.display(),
+            policy.every,
+            policy.retain
+        );
+    }
     if trace_out.is_some() {
         pipefisher_trace::set_enabled(false);
     }
@@ -102,9 +130,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         eprintln!("wrote {} StepMetrics rows to {path}", run.metrics.len());
     }
     let sm = run.smoothed(9);
+    // A resumed run only records losses from its restart step onward.
+    let first = steps - sm.len();
     println!("{} — {} steps (warmup {})", run.label, steps, warmup.max(1));
-    for i in (0..steps).step_by((steps / 20).max(1)) {
-        println!("step {:>5}: loss {:.4}", i, sm[i]);
+    if sm.is_empty() {
+        println!("nothing to run: the resumed checkpoint had already completed");
+        return Ok(());
+    }
+    for i in (0..sm.len()).step_by((sm.len() / 20).max(1)) {
+        println!("step {:>5}: loss {:.4}", first + i, sm[i]);
     }
     println!("final smoothed loss: {:.4}", run.final_loss(9));
     Ok(())

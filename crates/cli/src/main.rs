@@ -13,6 +13,7 @@
 
 mod args;
 mod cmd_assign;
+mod cmd_ckpt;
 mod cmd_model;
 mod cmd_schedule;
 mod cmd_soak;
@@ -50,6 +51,8 @@ USAGE:
                      [--metrics-out FILE] [--workspace on|off]
                      [--pipeline-stages D] [--scheme gpipe|1f1b|chimera]
                      [--micro-batches N] [--no-fill]
+                     [--checkpoint-dir DIR] [--checkpoint-every N]
+                     [--checkpoint-retain R] [--resume latest|PATH]
         Pretrain a tiny BERT on the synthetic language and print the loss
         curve; optionally record wall-clock trace spans and per-step
         metrics (JSONL). --workspace toggles the buffer-recycling arena
@@ -58,6 +61,15 @@ USAGE:
         micro-batches), filling pipeline bubbles with K-FAC work; --no-fill
         serializes that work after the stage's pipeline work instead.
         Losses are bitwise identical to the single-thread loop either way.
+        --checkpoint-dir writes crash-safe checkpoints every N steps
+        (default: final step only; retain R newest, default 3); --resume
+        restores one (latest = newest in --checkpoint-dir) and continues —
+        the resumed run is bitwise identical to an uninterrupted one.
+
+    pipefisher ckpt inspect <PATH>
+        Validate a checkpoint file (magic, version, CRCs) and print its
+        section table and training metadata; PATH may be a checkpoint
+        directory (inspects the newest generation).
 
     pipefisher soak [N] [--seed S] [--threads T] [--out FILE]
         Run N seeded chaos scenarios (default 32, seeds S..S+N) against the
@@ -80,6 +92,7 @@ fn main() -> ExitCode {
         Some("assign") => cmd_assign::run(&argv[1..]),
         Some("model") => cmd_model::run(&argv[1..]),
         Some("train") => cmd_train::run(&argv[1..]),
+        Some("ckpt") => cmd_ckpt::run(&argv[1..]),
         Some("soak") => cmd_soak::run(&argv[1..]),
         Some("sweep") => cmd_sweep::run(&argv[1..]),
         Some("--help" | "-h" | "help") | None => {

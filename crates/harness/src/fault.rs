@@ -31,10 +31,25 @@ fn keyed(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
     splitmix64(&mut s)
 }
 
+/// A seeded kill-and-resume exercise: the run checkpoints every step, a
+/// panic kills `device` at the start of step `kill_after` (so exactly
+/// `kill_after` steps completed and were checkpointed), and the harness
+/// resumes from the newest checkpoint and trains to completion. The resumed
+/// run must be bitwise-identical — per-step losses and final parameters —
+/// to an uninterrupted serial oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointFault {
+    /// Device whose injected panic kills the first run.
+    pub device: usize,
+    /// Step at whose *start* the kill fires; always ≥ 1 so at least one
+    /// checkpoint exists to resume from.
+    pub kill_after: usize,
+}
+
 /// A deterministic fault schedule for one pipelined run, derived entirely
 /// from [`FaultPlan::seed`].
 ///
-/// Two fault classes:
+/// Three fault classes:
 ///
 /// * **Liveness faults** (`fault`): at most one injected panic or stall at a
 ///   fixed `(device, step)`. These abort the run — a panic must surface as
@@ -43,6 +58,9 @@ fn keyed(seed: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
 ///   decisions that stretch the schedule and reorder K-FAC pickup among
 ///   *ready* units without changing any computed value. A run perturbed only
 ///   by these must still be bitwise-identical to the serial trainer.
+/// * **Kill-and-resume** (`checkpoint`, mutually exclusive with `fault`):
+///   a mid-run kill followed by a checkpoint restore; the resumed
+///   trajectory must match the serial oracle bitwise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The seed every decision derives from; failure messages report it.
@@ -55,6 +73,10 @@ pub struct FaultPlan {
     pub delay_cap_us: u64,
     /// Aux skip-first-ready probability, numerator out of 256 (0 disables).
     pub skew_num: u32,
+    /// The kill-and-resume exercise, if any. Never set together with
+    /// `fault`; the harness drives the kill itself (see
+    /// `run_scenario`), so the [`ChaosHook`] impl ignores this field.
+    pub checkpoint: Option<CheckpointFault>,
 }
 
 impl FaultPlan {
@@ -66,6 +88,7 @@ impl FaultPlan {
             delay_num: 0,
             delay_cap_us: 0,
             skew_num: 0,
+            checkpoint: None,
         }
     }
 
@@ -74,6 +97,7 @@ impl FaultPlan {
     pub fn timing_only(seed: u64) -> FaultPlan {
         let mut p = FaultPlan::from_seed(seed, usize::MAX, usize::MAX);
         p.fault = None;
+        p.checkpoint = None;
         if p.delay_num == 0 && p.skew_num == 0 {
             p.delay_num = 16;
             p.delay_cap_us = 400;
@@ -100,8 +124,10 @@ impl FaultPlan {
 
     /// Derives a full fault schedule from `seed` for a run of `steps` steps
     /// on `n_devices` devices. Roughly one run in four gets a liveness
-    /// fault; delay and skew intensity are drawn independently (and may
-    /// both be zero — clean runs are part of the space).
+    /// fault; of the rest, roughly one in four gets a kill-and-resume
+    /// checkpoint exercise instead; delay and skew intensity are drawn
+    /// independently (and may both be zero — clean runs are part of the
+    /// space).
     pub fn from_seed(seed: u64, n_devices: usize, steps: usize) -> FaultPlan {
         let mut s = seed ^ 0xFA17_FA17_FA17_FA17;
         let roll = splitmix64(&mut s);
@@ -115,12 +141,24 @@ impl FaultPlan {
         let delay_num = [0u32, 8, 32][(splitmix64(&mut s) % 3) as usize];
         let delay_cap_us = 100 + splitmix64(&mut s) % 700;
         let skew_num = [0u32, 64, 128][(splitmix64(&mut s) % 3) as usize];
+        let ck_roll = splitmix64(&mut s);
+        let ck_device = (splitmix64(&mut s) % n_devices.max(1) as u64) as usize;
+        let ck_step = 1 + (splitmix64(&mut s) % steps.saturating_sub(1).max(1) as u64) as usize;
+        let checkpoint = if fault.is_none() && steps >= 2 && ck_roll.is_multiple_of(4) {
+            Some(CheckpointFault {
+                device: ck_device,
+                kill_after: ck_step,
+            })
+        } else {
+            None
+        };
         FaultPlan {
             seed,
             fault,
             delay_num,
             delay_cap_us,
             skew_num,
+            checkpoint,
         }
     }
 
@@ -225,11 +263,36 @@ mod tests {
             delay_num: 256, // always fire
             delay_cap_us: 350,
             skew_num: 0,
+            checkpoint: None,
         };
         for op in 0..64 {
             let d = p.op_delay(0, 0, op).expect("delay_num 256 always fires");
             assert!(d >= Duration::from_micros(100) && d < Duration::from_micros(450));
         }
+    }
+
+    #[test]
+    fn checkpoint_faults_are_exclusive_bounded_and_drawn() {
+        let mut drawn = false;
+        for seed in 0..512u64 {
+            let p = FaultPlan::from_seed(seed, 4, 4);
+            if let Some(ck) = p.checkpoint {
+                drawn = true;
+                assert!(
+                    p.fault.is_none(),
+                    "seed {seed}: liveness and checkpoint faults drawn together"
+                );
+                assert!(
+                    ck.kill_after >= 1 && ck.kill_after < 4,
+                    "seed {seed}: kill_after {} outside [1, steps)",
+                    ck.kill_after
+                );
+                assert!(ck.device < 4, "seed {seed}: device {}", ck.device);
+            }
+        }
+        assert!(drawn, "512 seeds never drew a checkpoint fault");
+        assert_eq!(FaultPlan::timing_only(3).checkpoint, None);
+        assert_eq!(FaultPlan::quiet(3).checkpoint, None);
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod scenario;
 pub use conformance::{
     check_conformance, extract_events, ConformanceError, EventKind, ExecEvent, StepSpec,
 };
-pub use fault::{splitmix64, FaultPlan};
+pub use fault::{splitmix64, CheckpointFault, FaultPlan};
 pub use report::{run_soak, soak_report_json, SoakConfig, SoakSummary};
 pub use scenario::{
     execute, run_scenario, Execution, OptimizerKind, OracleCache, Scenario, ScenarioFailure,

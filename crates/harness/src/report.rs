@@ -39,6 +39,9 @@ pub struct SoakSummary {
     pub clean: usize,
     /// Scenarios whose injected fault surfaced correctly.
     pub faulted: usize,
+    /// Kill-and-resume scenarios that resumed bitwise-identical to the
+    /// serial oracle.
+    pub resumed: usize,
     /// Total events the conformance checker validated.
     pub events_checked: usize,
     /// Serial oracles trained (cache size).
@@ -80,6 +83,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakSummary {
                 summary.faulted += 1;
                 eprintln!("soak seed {seed}: fault surfaced correctly ({error})");
             }
+            Ok(ScenarioOutcome::Resumed { resumed_at }) => {
+                summary.resumed += 1;
+                eprintln!(
+                    "soak seed {seed}: killed at step {resumed_at}, resumed bitwise-identical \
+                     [{}]",
+                    sc.describe()
+                );
+            }
             Err(failure) => {
                 eprintln!("soak FAILURE: {failure}");
                 summary.failures.push(failure.to_string());
@@ -110,6 +121,7 @@ pub fn soak_report_json(cfg: &SoakConfig, summary: &SoakSummary) -> Value {
         "scenarios": summary.total,
         "clean": summary.clean,
         "faulted": summary.faulted,
+        "resumed": summary.resumed,
         "events_checked": summary.events_checked,
         "oracles_trained": summary.oracles,
         "failures": summary.failures.clone(),
@@ -132,6 +144,7 @@ mod tests {
             total: 2,
             clean: 1,
             faulted: 1,
+            resumed: 0,
             events_checked: 120,
             oracles: 1,
             failures: vec![],

@@ -15,11 +15,11 @@
 //! replayable with `Scenario::from_seed(seed)`.
 
 use crate::conformance::{check_conformance, extract_events, ExecEvent, StepSpec};
-use crate::fault::{splitmix64, FaultPlan};
+use crate::fault::{splitmix64, CheckpointFault, FaultPlan};
 use pipefisher_core::ExecutablePlan;
 use pipefisher_lm::{
-    plan_for, BatchSampler, ExecError, OptimizerChoice, PipelineOptions, SyntheticLanguage,
-    TrainOptions, Trainer,
+    plan_for, BatchSampler, CheckpointPolicy, ExecError, OptimizerChoice, PipelineOptions,
+    ResumeFrom, SyntheticLanguage, TrainOptions, Trainer,
 };
 use pipefisher_nn::{BertConfig, BertForPreTraining};
 use pipefisher_optim::{KfacConfig, LrSchedule};
@@ -342,6 +342,14 @@ pub enum ScenarioOutcome {
         /// The executor error, as displayed.
         error: String,
     },
+    /// A kill-and-resume exercise: the run was killed mid-flight, resumed
+    /// from its newest checkpoint, and finished bitwise-identical to the
+    /// serial oracle.
+    Resumed {
+        /// The step the resumed run restarted at (== steps completed
+        /// before the kill).
+        resumed_at: usize,
+    },
 }
 
 /// A scenario that violated its contract. The message always embeds the
@@ -366,6 +374,81 @@ impl std::fmt::Display for ScenarioFailure {
 
 impl std::error::Error for ScenarioFailure {}
 
+/// Kill-and-resume execution: trains with per-step checkpointing, kills the
+/// run with an injected panic at the start of step `cf.kill_after`, resumes
+/// from the newest checkpoint into a fresh trainer/model, and returns the
+/// resumed run's `(loss bits, final parameter bits)` — which the caller
+/// compares against the serial oracle's tail.
+///
+/// Timing perturbations from the scenario's fault plan stay active in both
+/// halves (they are bitwise-safe by contract), so resume correctness is
+/// exercised under schedule skew too.
+fn execute_resume_inner(
+    sc: &Scenario,
+    cf: &CheckpointFault,
+) -> Result<(Vec<u64>, Vec<u64>), String> {
+    let dir = std::env::temp_dir().join(format!(
+        "pipefisher-chaos-ckpt-{}-{}",
+        std::process::id(),
+        sc.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    par::set_max_threads(sc.threads);
+    let result = (|| {
+        // Phase 1: checkpoint every step, die at the start of `kill_after`.
+        let mut opts = PipelineOptions::new(sc.scheme, sc.n_stages, sc.n_micro);
+        opts.fill_bubbles = sc.fill_bubbles;
+        opts.checkpoint = Some(CheckpointPolicy {
+            dir: dir.clone(),
+            every: 1,
+            retain: 2,
+        });
+        let mut kill = sc.fault.clone();
+        kill.fault = Some((StepFault::Panic, cf.device, cf.kill_after));
+        opts.chaos = Some(Arc::new(kill));
+        let (mut trainer, model) = setup(&sc.config(), sc.data_seed);
+        let err = match trainer.run_pipelined(model, &sc.optimizer.choice(), sc.steps, &opts) {
+            Err(e) => e,
+            Ok(_) => return Err("injected kill never fired".to_string()),
+        };
+        if !matches!(err, ExecError::StagePanic { .. }) {
+            return Err(format!("kill surfaced as the wrong error: {err}"));
+        }
+        if err.completed_steps() != cf.kill_after {
+            return Err(format!(
+                "kill at step {} reported {} completed steps",
+                cf.kill_after,
+                err.completed_steps()
+            ));
+        }
+
+        // Phase 2: fresh everything, resume from the newest checkpoint.
+        let mut opts = PipelineOptions::new(sc.scheme, sc.n_stages, sc.n_micro);
+        opts.fill_bubbles = sc.fill_bubbles;
+        let mut quiet = sc.fault.clone();
+        quiet.fault = None;
+        opts.chaos = Some(Arc::new(quiet));
+        opts.resume = Some(ResumeFrom::Latest(dir.clone()));
+        let (mut trainer, model) = setup(&sc.config(), sc.data_seed);
+        let outcome = trainer
+            .run_pipelined(model, &sc.optimizer.choice(), sc.steps, &opts)
+            .map_err(|e| format!("resumed run aborted: {e}"))?;
+        let want_losses = sc.steps - cf.kill_after;
+        if outcome.run.losses.len() != want_losses {
+            return Err(format!(
+                "resumed run recorded {} losses, expected {want_losses}",
+                outcome.run.losses.len()
+            ));
+        }
+        let loss_bits = outcome.run.losses.iter().map(|l| l.to_bits()).collect();
+        let mut model = outcome.model;
+        Ok((loss_bits, param_bits(&mut model)))
+    })();
+    par::set_max_threads(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
 /// Executes `sc` and checks every applicable contract. See module docs for
 /// what "pass" means for faulty vs fault-free scenarios.
 ///
@@ -383,6 +466,24 @@ pub fn run_scenario(
         seed: sc.seed,
         message: format!("[{}] {message}", sc.describe()),
     };
+    if let Some(cf) = sc.fault.checkpoint {
+        let (loss_bits, bits) = execute_resume_inner(sc, &cf).map_err(&fail)?;
+        let oracle = cache.get_or_run(sc);
+        if loss_bits[..] != oracle.0[cf.kill_after..] {
+            return Err(fail(format!(
+                "resumed losses (steps {}..{}) diverged bitwise from the serial oracle",
+                cf.kill_after, sc.steps
+            )));
+        }
+        if bits != oracle.1 {
+            return Err(fail(
+                "resumed final parameters diverged bitwise from the serial oracle".to_string(),
+            ));
+        }
+        return Ok(ScenarioOutcome::Resumed {
+            resumed_at: cf.kill_after,
+        });
+    }
     let ex = execute_inner(sc);
     match (sc.fault.fault, ex.result) {
         (Some((StepFault::Panic, device, _)), Err(ExecError::StagePanic { device: got, .. })) => {

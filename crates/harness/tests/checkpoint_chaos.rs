@@ -1,0 +1,65 @@
+//! Kill-and-resume chaos: seeded scenarios that checkpoint every step, die
+//! from an injected panic mid-run, resume from the newest checkpoint, and
+//! must finish bitwise-identical to the uninterrupted serial oracle
+//! (per-step losses and final parameters).
+//!
+//! The smoke test runs the first few checkpoint-fault scenarios from the
+//! seed space; the `#[ignore]`d block is the CI release leg (32 scenarios,
+//! run with `cargo test --release -- --ignored`).
+
+use pipefisher_harness::{run_scenario, OracleCache, Scenario, ScenarioOutcome};
+
+/// First `want` seeds (from `base` upward) whose scenario draws a
+/// kill-and-resume checkpoint fault.
+fn checkpoint_seeds(base: u64, want: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut seed = base;
+    while out.len() < want {
+        if Scenario::from_seed(seed).fault.checkpoint.is_some() {
+            out.push(seed);
+        }
+        seed += 1;
+        assert!(
+            seed - base < 100_000,
+            "seed space starved of checkpoint faults"
+        );
+    }
+    out
+}
+
+fn run_seeds(seeds: &[u64]) {
+    let mut cache = OracleCache::default();
+    for &seed in seeds {
+        let sc = Scenario::from_seed(seed);
+        let cf = sc
+            .fault
+            .checkpoint
+            .expect("selected seeds draw a checkpoint fault");
+        match run_scenario(&sc, &mut cache) {
+            Ok(ScenarioOutcome::Resumed { resumed_at }) => {
+                assert_eq!(resumed_at, cf.kill_after, "seed {seed}");
+            }
+            Ok(other) => panic!("seed {seed}: checkpoint scenario ended as {other:?}"),
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_smoke() {
+    // Keep the smoke cheap: the first two checkpoint scenarios on tiny
+    // models (≤ 2 stages).
+    let seeds: Vec<u64> = checkpoint_seeds(0, 64)
+        .into_iter()
+        .filter(|&s| Scenario::from_seed(s).n_stages <= 2)
+        .take(2)
+        .collect();
+    assert_eq!(seeds.len(), 2, "not enough small checkpoint scenarios");
+    run_seeds(&seeds);
+}
+
+#[test]
+#[ignore = "CI release leg: 32 kill-and-resume scenarios (~minutes)"]
+fn kill_and_resume_soak_32() {
+    run_seeds(&checkpoint_seeds(0, 32));
+}

@@ -19,6 +19,7 @@
 //!   export.
 
 mod causal;
+mod checkpoint;
 mod corpus;
 mod data;
 mod metrics;
@@ -27,6 +28,9 @@ mod pipeline;
 mod trainer;
 
 pub use causal::{train_causal_lm, CausalSampler};
+pub use checkpoint::{
+    resolve_resume, CheckpointOptions, CheckpointPolicy, ResumeFrom, TrainCheckpoint,
+};
 pub use corpus::SyntheticLanguage;
 pub use data::{special_tokens, BatchSampler};
 pub use metrics::{to_jsonl, StepMetrics};

@@ -39,6 +39,10 @@ pub struct StepMetrics {
     pub allocs: u64,
     /// Bytes requested by those allocation calls (`0` without `alloc-count`).
     pub alloc_bytes: u64,
+    /// Wall-clock milliseconds spent writing a checkpoint at the end of
+    /// this step (`0.0` on steps that did not checkpoint, and in runs
+    /// without checkpointing).
+    pub ckpt_write_ms: f64,
 }
 
 impl StepMetrics {
@@ -57,6 +61,7 @@ impl StepMetrics {
             "inversions": self.inversions,
             "allocs": self.allocs,
             "alloc_bytes": self.alloc_bytes,
+            "ckpt_write_ms": self.ckpt_write_ms,
         })
     }
 }
@@ -101,6 +106,7 @@ impl MetricsRecorder {
         curvature_refreshed: bool,
         inverted: bool,
         alloc: pipefisher_trace::AllocSnapshot,
+        ckpt_write_ms: f64,
     ) {
         self.curvature_refreshes += u64::from(curvature_refreshed);
         self.inversions += u64::from(inverted);
@@ -117,6 +123,7 @@ impl MetricsRecorder {
             inversions: self.inversions,
             allocs: alloc.allocs,
             alloc_bytes: alloc.bytes,
+            ckpt_write_ms,
         });
     }
 
@@ -143,6 +150,7 @@ mod tests {
             inversions: 1,
             allocs: 0,
             alloc_bytes: 0,
+            ckpt_write_ms: 0.0,
         }
     }
 
@@ -165,9 +173,9 @@ mod tests {
         let mut rec = MetricsRecorder::default();
         let t = PhaseTimings::default();
         let a = pipefisher_trace::AllocSnapshot::default();
-        rec.record(0, 3.0, 1.0, 1e-3, t, true, true, a);
-        rec.record(1, 2.9, 1.0, 1e-3, t, false, false, a);
-        rec.record(2, 2.8, 1.0, 1e-3, t, true, false, a);
+        rec.record(0, 3.0, 1.0, 1e-3, t, true, true, a, 0.0);
+        rec.record(1, 2.9, 1.0, 1e-3, t, false, false, a, 0.0);
+        rec.record(2, 2.8, 1.0, 1e-3, t, true, false, a, 0.0);
         let rows = rec.into_rows();
         assert_eq!(rows[2].curvature_refreshes, 2);
         assert_eq!(rows[2].inversions, 1);

@@ -40,9 +40,11 @@
 //! stage (or a coordinator starved of results) trips
 //! [`ExecError::Wedged`]. Neither deadlocks.
 
+use crate::checkpoint::{resolve_resume, CheckpointPolicy, ResumeFrom, TrainCheckpoint};
 use crate::metrics::{MetricsRecorder, PhaseTimings};
 use crate::trainer::AnyOpt;
 use crate::{OptimizerChoice, TrainRun, Trainer};
+use pipefisher_ckpt::CkptError;
 use pipefisher_core::{assign, AuxKind, DevicePlan, ExecutablePlan, PipeFisherConfig, PlanOp};
 use pipefisher_core::{AssignError, PipeFisherSchedule};
 use pipefisher_nn::{
@@ -126,6 +128,13 @@ pub struct PipelineOptions {
     /// Deterministic fault/clock injection (chaos testing); `None` runs
     /// clean.
     pub chaos: Option<Arc<dyn ChaosHook>>,
+    /// Write checkpoints per this policy. The coordinator saves at step
+    /// boundaries — after the gradient merge and optimizer update — so a
+    /// pipelined checkpoint is byte-identical to the serial trainer's at
+    /// the same step.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Restore state from here before the first step.
+    pub resume: Option<ResumeFrom>,
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -137,6 +146,8 @@ impl std::fmt::Debug for PipelineOptions {
             .field("fill_bubbles", &self.fill_bubbles)
             .field("watchdog", &self.watchdog)
             .field("chaos", &self.chaos.as_ref().map(|_| "<hook>"))
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume)
             .finish()
     }
 }
@@ -162,11 +173,18 @@ impl PipelineOptions {
             fill_bubbles: true,
             watchdog: default_watchdog(),
             chaos: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
 
 /// Why a pipelined run stopped without finishing.
+///
+/// Every fault variant carries the number of optimizer steps that fully
+/// completed (gradient merged, optimizer applied) before the abort — the
+/// last checkpointable step. With checkpointing enabled, a supervisor can
+/// resume from the newest generation at or below that step.
 #[derive(Debug)]
 pub enum ExecError {
     /// The schedule could not be lowered into an executable plan.
@@ -177,6 +195,8 @@ pub enum ExecError {
         device: usize,
         /// The panic payload, if it was a string.
         message: String,
+        /// Optimizer steps fully completed before the abort.
+        completed_steps: usize,
     },
     /// A worker (or the coordinator) made no progress for the watchdog
     /// duration; the run aborted rather than deadlocking.
@@ -185,24 +205,105 @@ pub enum ExecError {
         waited: Duration,
         /// Who was stuck waiting for what.
         detail: String,
+        /// Optimizer steps fully completed before the abort.
+        completed_steps: usize,
     },
+    /// Reading or writing a checkpoint failed.
+    Checkpoint {
+        /// The underlying checkpoint error.
+        source: CkptError,
+        /// Optimizer steps fully completed before the abort.
+        completed_steps: usize,
+    },
+}
+
+impl ExecError {
+    /// Optimizer steps that fully completed before the run stopped — the
+    /// last step a checkpoint could describe (`0` for plan errors, which
+    /// fail before any step runs).
+    pub fn completed_steps(&self) -> usize {
+        match self {
+            ExecError::Plan(_) => 0,
+            ExecError::StagePanic {
+                completed_steps, ..
+            }
+            | ExecError::Wedged {
+                completed_steps, ..
+            }
+            | ExecError::Checkpoint {
+                completed_steps, ..
+            } => *completed_steps,
+        }
+    }
+
+    /// Stamps the coordinator's completed-step count onto a fault. Workers
+    /// record faults with `completed_steps: 0` (they cannot know how far
+    /// the coordinator got); the coordinator patches the winning fault on
+    /// the way out.
+    fn with_completed(mut self, n: usize) -> Self {
+        match &mut self {
+            ExecError::Plan(_) => {}
+            ExecError::StagePanic {
+                completed_steps, ..
+            }
+            | ExecError::Wedged {
+                completed_steps, ..
+            }
+            | ExecError::Checkpoint {
+                completed_steps, ..
+            } => *completed_steps = n,
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Plan(e) => write!(f, "pipeline plan error: {e}"),
-            ExecError::StagePanic { device, message } => {
-                write!(f, "stage worker {device} panicked: {message}")
+            ExecError::StagePanic {
+                device,
+                message,
+                completed_steps,
+            } => {
+                write!(
+                    f,
+                    "stage worker {device} panicked: {message} \
+                     ({completed_steps} steps completed)"
+                )
             }
-            ExecError::Wedged { waited, detail } => {
-                write!(f, "pipeline wedged (no progress for {waited:?}): {detail}")
+            ExecError::Wedged {
+                waited,
+                detail,
+                completed_steps,
+            } => {
+                write!(
+                    f,
+                    "pipeline wedged (no progress for {waited:?}): {detail} \
+                     ({completed_steps} steps completed)"
+                )
+            }
+            ExecError::Checkpoint {
+                source,
+                completed_steps,
+            } => {
+                write!(
+                    f,
+                    "checkpoint error: {source} ({completed_steps} steps completed)"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for ExecError {}
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Checkpoint { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// A finished pipelined run: the loss/metrics history, the reassembled
 /// model, and how the bubbles were spent.
@@ -422,7 +523,7 @@ impl Trainer {
     /// violated (Chimera needs even `D` and even `N`).
     pub fn run_pipelined(
         &mut self,
-        model: BertForPreTraining,
+        mut model: BertForPreTraining,
         choice: &OptimizerChoice,
         steps: usize,
         opts: &PipelineOptions,
@@ -435,6 +536,31 @@ impl Trainer {
         let (d, n_micro) = (opts.n_stages, opts.n_micro);
         let plan = plan_for(opts)?;
         let n_devices = plan.devices.len();
+
+        // Checkpoint store / resume run before any worker exists, so a
+        // failure here is a clean `Checkpoint` error with 0 completed steps.
+        let ckpt_err0 = |source: CkptError| ExecError::Checkpoint {
+            source,
+            completed_steps: 0,
+        };
+        let mut opt = AnyOpt::new(choice);
+        let store = match &opts.checkpoint {
+            Some(policy) => Some((policy, policy.open().map_err(ckpt_err0)?)),
+            None => None,
+        };
+        let mut start_step = 0usize;
+        if let Some(resume) = &opts.resume {
+            let path = resolve_resume(resume).map_err(ckpt_err0)?;
+            let tc = TrainCheckpoint::load(&path).map_err(ckpt_err0)?;
+            start_step = self
+                .restore_checkpoint(&tc, &mut opt, |bytes| model.import_params(bytes))
+                .map_err(ckpt_err0)?;
+        }
+        assert!(
+            start_step <= steps,
+            "resume checkpoint is past the requested step count \
+             ({start_step} > {steps})"
+        );
 
         let mut staged = StagedBert::from_model(model, d);
         // K-FAC layer names per stage, in `visit_linears` order — the index
@@ -553,12 +679,11 @@ impl Trainer {
 
         // --- Step loop (mirrors `run_accumulated` span for span). ------
         let scale = 1.0 / n_micro as f64;
-        let mut opt = AnyOpt::new(choice);
-        let mut losses = Vec::with_capacity(steps);
+        let mut losses = Vec::with_capacity(steps - start_step);
         let mut recorder = MetricsRecorder::default();
         let (mut bubble_aux_ms, mut bubble_idle_ms, mut tail_aux_ms) = (0.0, 0.0, 0.0);
         let total_backwards = d * n_micro;
-        for step in 0..steps {
+        for step in start_step..steps {
             let _step_span = pipefisher_trace::span("step", "train");
             let alloc_before = pipefisher_trace::alloc_snapshot();
             staged.zero_grad();
@@ -620,8 +745,9 @@ impl Trainer {
                         let fallback = ExecError::StagePanic {
                             device: dev,
                             message: "worker exited before the step was dispatched".to_string(),
+                            completed_steps: step,
                         };
-                        return Err(abort_run(&mut workers, &abort, fallback));
+                        return Err(abort_run(&mut workers, &abort, fallback).with_completed(step));
                     }
                 }
                 // Collect.
@@ -674,8 +800,11 @@ impl Trainer {
                             let fallback = ExecError::StagePanic {
                                 device,
                                 message: "worker reported a fault".to_string(),
+                                completed_steps: step,
                             };
-                            return Err(abort_run(&mut workers, &abort, fallback));
+                            return Err(
+                                abort_run(&mut workers, &abort, fallback).with_completed(step)
+                            );
                         }
                         Err(RecvTimeoutError::Timeout) => {
                             if abort.is_tripped() || last_msg.elapsed() > opts.watchdog {
@@ -685,16 +814,22 @@ impl Trainer {
                                         "coordinator starved of step-{step} results \
                                          ({done}/{n_devices} devices done)"
                                     ),
+                                    completed_steps: step,
                                 };
-                                return Err(abort_run(&mut workers, &abort, fallback));
+                                return Err(
+                                    abort_run(&mut workers, &abort, fallback).with_completed(step)
+                                );
                             }
                         }
                         Err(RecvTimeoutError::Disconnected) => {
                             let fallback = ExecError::Wedged {
                                 waited: opts.watchdog,
                                 detail: "all workers exited mid-step".to_string(),
+                                completed_steps: step,
                             };
-                            return Err(abort_run(&mut workers, &abort, fallback));
+                            return Err(
+                                abort_run(&mut workers, &abort, fallback).with_completed(step)
+                            );
                         }
                     }
                 }
@@ -735,6 +870,28 @@ impl Trainer {
                 opt.apply_preconditioned(&mut staged, lr);
             }
             let t4 = Instant::now();
+            // Checkpoint at the step boundary: gradients are merged and the
+            // optimizer applied, so the captured state is exactly what the
+            // serial trainer would capture after the same step.
+            let mut ckpt_write_ms = 0.0;
+            if let Some((policy, dir)) = &store {
+                if policy.due(step + 1, steps) {
+                    let t5 = Instant::now();
+                    let snap = self
+                        .capture_checkpoint((step + 1) as u64, &opt, staged.export_params())
+                        .to_snapshot();
+                    if let Err(source) = dir.save((step + 1) as u64, &snap) {
+                        let fallback = ExecError::Checkpoint {
+                            source,
+                            completed_steps: step + 1,
+                        };
+                        return Err(
+                            abort_run(&mut workers, &abort, fallback).with_completed(step + 1)
+                        );
+                    }
+                    ckpt_write_ms = t5.elapsed().as_secs_f64() * 1e3;
+                }
+            }
             recorder.record(
                 step,
                 loss,
@@ -748,6 +905,7 @@ impl Trainer {
                 refresh_curv,
                 refresh_inv,
                 pipefisher_trace::alloc_snapshot().since(&alloc_before),
+                ckpt_write_ms,
             );
         }
         shutdown_workers(&mut workers);
@@ -834,6 +992,7 @@ impl Worker {
                     self.abort.trip(ExecError::StagePanic {
                         device: self.device,
                         message: panic_message(payload),
+                        completed_steps: 0,
                     });
                     let _ = self.results.send(WorkerMsg::Fault {
                         device: self.device,
@@ -1150,6 +1309,7 @@ impl Worker {
                                  micro-batch {mb}",
                                 self.device
                             ),
+                            completed_steps: 0,
                         });
                         return Err(Halt);
                     }
@@ -1195,6 +1355,7 @@ impl Worker {
                                 "device {} stuck sending to device {dest} (full channel)",
                                 self.device
                             ),
+                            completed_steps: 0,
                         });
                         return Err(Halt);
                     }

@@ -1,11 +1,13 @@
 //! Pretraining loops with loss tracking (the Figure 6 machinery) and
 //! per-step metrics/trace instrumentation.
 
+use crate::checkpoint::{resolve_resume, CheckpointOptions, TrainCheckpoint};
 use crate::metrics::{MetricsRecorder, PhaseTimings};
 use crate::{BatchSampler, StepMetrics};
+use pipefisher_ckpt::{CkptError, SectionReader, SectionWriter};
 use pipefisher_nn::{BertForPreTraining, ForwardCtx, PreTrainingBatch};
 use pipefisher_optim::{
-    Kfac, KfacConfig, KfacModel, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig,
+    Kfac, KfacConfig, KfacModel, Lamb, LrSchedule, Optimizer, Shampoo, ShampooConfig, StateSnapshot,
 };
 use pipefisher_tensor::par;
 use rand::rngs::StdRng;
@@ -188,11 +190,38 @@ impl Trainer {
         steps: usize,
         accumulation: usize,
     ) -> TrainRun {
+        self.run_accumulated_ckpt(model, choice, steps, accumulation, None)
+            .expect("no checkpointing requested, so no checkpoint errors")
+    }
+
+    /// The accumulated loop with optional checkpoint save/resume. With
+    /// `ckpt == None` (or an empty [`CheckpointOptions`]) the loop body is
+    /// unchanged, so plain runs are bitwise identical to the historical
+    /// ones.
+    fn run_accumulated_ckpt(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        accumulation: usize,
+        ckpt: Option<&CheckpointOptions>,
+    ) -> Result<TrainRun, CkptError> {
         let scale = 1.0 / accumulation as f64;
         let mut opt = AnyOpt::new(choice);
-        let mut losses = Vec::with_capacity(steps);
+        let mut start_step = 0usize;
+        let store = match ckpt.and_then(|c| c.save.as_ref()) {
+            Some(policy) => Some((policy, policy.open()?)),
+            None => None,
+        };
+        if let Some(resume) = ckpt.and_then(|c| c.resume.as_ref()) {
+            let path = resolve_resume(resume)?;
+            let tc = TrainCheckpoint::load(&path)?;
+            start_step =
+                self.restore_checkpoint(&tc, &mut opt, |bytes| model.import_params(bytes))?;
+        }
+        let mut losses = Vec::with_capacity(steps.saturating_sub(start_step));
         let mut recorder = MetricsRecorder::default();
-        for step in 0..steps {
+        for step in start_step..steps {
             let _step_span = pipefisher_trace::span("step", "train");
             let alloc_before = pipefisher_trace::alloc_snapshot();
             model.zero_grad();
@@ -220,6 +249,17 @@ impl Trainer {
                 opt.apply(model, lr);
             }
             let t4 = Instant::now();
+            let mut ckpt_write_ms = 0.0;
+            if let Some((policy, dir)) = &store {
+                if policy.due(step + 1, steps) {
+                    let tw = Instant::now();
+                    let snap = self
+                        .capture_checkpoint((step + 1) as u64, &opt, model.export_params())
+                        .to_snapshot();
+                    dir.save((step + 1) as u64, &snap)?;
+                    ckpt_write_ms = tw.elapsed().as_secs_f64() * 1e3;
+                }
+            }
             recorder.record(
                 step,
                 loss,
@@ -233,13 +273,14 @@ impl Trainer {
                 refresh,
                 opt.inverts_at(step),
                 pipefisher_trace::alloc_snapshot().since(&alloc_before),
+                ckpt_write_ms,
             );
         }
-        TrainRun {
+        Ok(TrainRun {
             losses,
             label: opt.label().to_string(),
             metrics: recorder.into_rows(),
-        }
+        })
     }
 
     fn run_stale_lamb(
@@ -310,6 +351,7 @@ impl Trainer {
                 false,
                 false,
                 pipefisher_trace::alloc_snapshot().since(&alloc_before),
+                0.0,
             );
         }
         TrainRun {
@@ -331,6 +373,97 @@ impl Trainer {
         steps: usize,
     ) -> TrainRun {
         self.run_accumulated(model, choice, steps, 1)
+    }
+
+    /// Like [`Trainer::run_with_options`] with crash-safe checkpointing:
+    /// saves per `ckpt.save` (atomically, after the optimizer update of a
+    /// due step) and/or resumes from `ckpt.resume` before the first step.
+    ///
+    /// A resumed run is *bitwise-invisible*: its per-step losses and final
+    /// parameters equal the corresponding tail of an uninterrupted run,
+    /// because the checkpoint captures every piece of mutable loop state —
+    /// parameters, optimizer state (including the K-FAC/Shampoo cadence
+    /// counters), and the data-RNG stream. The returned [`TrainRun`] covers
+    /// steps `next_step..steps` (its metric rows carry absolute step
+    /// indices).
+    ///
+    /// # Errors
+    ///
+    /// Any checkpoint I/O, validation, or compatibility failure (corrupt
+    /// file, shape mismatch, optimizer mismatch) is a structured
+    /// [`CkptError`]; nothing is trained on a partially restored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.accumulation_steps == 0` or `opts.grad_delay > 0`
+    /// (stale-gradient emulation keeps an in-flight gradient queue that is
+    /// deliberately not checkpointable).
+    pub fn run_checkpointed(
+        &mut self,
+        model: &mut BertForPreTraining,
+        choice: &OptimizerChoice,
+        steps: usize,
+        opts: &TrainOptions,
+        ckpt: &CheckpointOptions,
+    ) -> Result<TrainRun, CkptError> {
+        assert!(
+            opts.accumulation_steps > 0,
+            "accumulation_steps must be positive"
+        );
+        assert!(
+            opts.grad_delay == 0,
+            "checkpointing does not support grad_delay (in-flight stale-gradient queue)"
+        );
+        self.run_accumulated_ckpt(model, choice, steps, opts.accumulation_steps, Some(ckpt))
+    }
+
+    /// Raw xoshiro state of the data RNG — the complete data-loader cursor,
+    /// since batch sampling is a pure function of this stream.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.data_rng.state()
+    }
+
+    /// Restores the data-RNG stream captured by [`Trainer::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.data_rng = StdRng::from_state(state);
+    }
+
+    /// Builds the full checkpoint for a loop about to run step `next_step`,
+    /// given the already-exported model section.
+    pub(crate) fn capture_checkpoint(
+        &self,
+        next_step: u64,
+        opt: &AnyOpt,
+        model: Vec<u8>,
+    ) -> TrainCheckpoint {
+        TrainCheckpoint {
+            next_step,
+            optimizer_label: opt.label().to_string(),
+            model,
+            optim: opt.export_state(),
+            rng: self.rng_state(),
+        }
+    }
+
+    /// Restores a loaded checkpoint into this trainer and `opt`, importing
+    /// the model section through `import_model` (monolithic or staged).
+    /// Returns the step index to resume the loop at.
+    pub(crate) fn restore_checkpoint(
+        &mut self,
+        tc: &TrainCheckpoint,
+        opt: &mut AnyOpt,
+        import_model: impl FnOnce(&[u8]) -> Result<(), CkptError>,
+    ) -> Result<usize, CkptError> {
+        if tc.optimizer_label != opt.label() {
+            return Err(CkptError::OptimizerMismatch {
+                expected: opt.label().to_string(),
+                found: tc.optimizer_label.clone(),
+            });
+        }
+        import_model(&tc.model)?;
+        opt.import_state(&tc.optim)?;
+        self.set_rng_state(tc.rng);
+        Ok(tc.next_step as usize)
     }
 }
 
@@ -432,6 +565,50 @@ impl AnyOpt {
         match self {
             AnyOpt::Kfac { opt, .. } => Some(opt),
             _ => None,
+        }
+    }
+
+    /// Serializes the wrapped optimizer's mutable state, tagged by kind so
+    /// a checkpoint can never be restored into the wrong optimizer.
+    pub(crate) fn export_state(&self) -> Vec<u8> {
+        let mut w = SectionWriter::new();
+        let (tag, blob) = match self {
+            AnyOpt::Lamb(o) => (0u8, o.export_state()),
+            AnyOpt::Kfac { opt, .. } => (1u8, opt.export_state()),
+            AnyOpt::Shampoo(o) => (2u8, o.export_state()),
+        };
+        w.u8(tag);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&blob);
+        bytes
+    }
+
+    /// Restores state captured by [`AnyOpt::export_state`]. A tag for a
+    /// different optimizer kind is [`CkptError::OptimizerMismatch`].
+    pub(crate) fn import_state(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let mut r = SectionReader::new("optim", bytes);
+        let tag = r.u8()?;
+        let found = match tag {
+            0 => "NVLAMB",
+            1 => "K-FAC",
+            2 => "Shampoo",
+            other => {
+                return Err(CkptError::Malformed {
+                    detail: format!("unknown optimizer tag {other} in optim section"),
+                })
+            }
+        };
+        if found != self.label() {
+            return Err(CkptError::OptimizerMismatch {
+                expected: self.label().to_string(),
+                found: found.to_string(),
+            });
+        }
+        let blob = &bytes[1..];
+        match self {
+            AnyOpt::Lamb(o) => o.import_state(blob),
+            AnyOpt::Kfac { opt, .. } => opt.import_state(blob),
+            AnyOpt::Shampoo(o) => o.import_state(blob),
         }
     }
 }

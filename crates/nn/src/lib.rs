@@ -44,6 +44,7 @@ mod layernorm;
 mod linear;
 mod loss;
 mod param;
+mod snapshot;
 mod stage;
 
 pub use activation::{gelu, Activation, ActivationKind};
@@ -61,6 +62,7 @@ pub use layernorm::LayerNorm;
 pub use linear::{KfacBatchStats, Linear};
 pub use loss::{cross_entropy_backward, cross_entropy_loss, CrossEntropyResult, IGNORE_INDEX};
 pub use param::{ParamVisitor, Parameter};
+pub use snapshot::{export_params_with, import_params_with};
 pub use stage::{BertStage, PreTrainingHead, StageOutput, StagedBert};
 
 use pipefisher_tensor::Matrix;

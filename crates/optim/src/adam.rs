@@ -89,6 +89,40 @@ impl Default for Adam {
     }
 }
 
+impl crate::StateSnapshot for Adam {
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = pipefisher_ckpt::SectionWriter::new();
+        w.u64(self.t);
+        let entries = crate::snapshot::sorted_entries(&self.moments);
+        w.u32(entries.len() as u32);
+        for (name, (m, v)) in entries {
+            w.str(name);
+            w.matrix(m);
+            w.matrix(v);
+        }
+        // `dir` is scratch: fully overwritten by `direction_into` before any
+        // read, so it carries no cross-step state and is not captured.
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), pipefisher_ckpt::CkptError> {
+        let mut r = pipefisher_ckpt::SectionReader::new("optim.adam", bytes);
+        let t = r.u64()?;
+        let count = r.u32()?;
+        let mut moments = HashMap::new();
+        for _ in 0..count {
+            let name = r.str()?;
+            let m = r.matrix()?;
+            let v = r.matrix()?;
+            crate::snapshot::insert_unique(&mut moments, "Adam moments", name, (m, v))?;
+        }
+        r.finish()?;
+        self.t = t;
+        self.moments = moments;
+        Ok(())
+    }
+}
+
 impl Optimizer for Adam {
     fn begin_step(&mut self) {
         self.t += 1;

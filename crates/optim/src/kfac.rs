@@ -272,6 +272,16 @@ impl<O: Optimizer> Kfac<O> {
         self.states.insert(layer_name.to_string(), state);
     }
 
+    /// Borrows the fallback optimizer.
+    pub fn fallback(&self) -> &O {
+        &self.fallback
+    }
+
+    /// Mutably borrows the fallback optimizer.
+    pub fn fallback_mut(&mut self) -> &mut O {
+        &mut self.fallback
+    }
+
     /// Runs one optimization step *assuming curvature and inversion refreshes
     /// already happened externally* (via [`fold_curvature_a`],
     /// [`fold_curvature_b`], and [`refresh_inverses`] on states loaned out
@@ -458,6 +468,66 @@ impl<O: Optimizer> Kfac<O> {
         self.fallback.begin_step();
         let fallback = &mut self.fallback;
         model.visit_all_params(&mut |p: &mut Parameter| fallback.step_param(p, lr));
+    }
+}
+
+impl<O: Optimizer + crate::StateSnapshot> crate::StateSnapshot for Kfac<O> {
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = pipefisher_ckpt::SectionWriter::new();
+        w.u64(self.t);
+        // Fallback optimizer state rides along as a length-prefixed blob so
+        // K-FAC's own layout is independent of the inner optimizer's.
+        let fallback = crate::StateSnapshot::export_state(&self.fallback);
+        w.u64(fallback.len() as u64);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&fallback);
+        let mut w = pipefisher_ckpt::SectionWriter::new();
+        let entries = crate::snapshot::sorted_entries(&self.states);
+        w.u32(entries.len() as u32);
+        for (name, st) in entries {
+            w.str(name);
+            w.opt_matrix(st.factor_a.as_ref());
+            w.opt_matrix(st.factor_b.as_ref());
+            w.opt_matrix(st.inv_a.as_ref());
+            w.opt_matrix(st.inv_b.as_ref());
+            w.u64(st.last_curvature_step);
+            w.u64(st.last_inversion_step);
+            // `st.scratch` is working memory, fully rebuilt on next use.
+        }
+        bytes.extend_from_slice(&w.into_bytes());
+        bytes
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), pipefisher_ckpt::CkptError> {
+        let mut r = pipefisher_ckpt::SectionReader::new("optim.kfac", bytes);
+        let t = r.u64()?;
+        let fallback_len = r.u64()? as usize;
+        let mut fallback_bytes = Vec::with_capacity(fallback_len.min(1 << 20));
+        for _ in 0..fallback_len {
+            fallback_bytes.push(r.u8()?);
+        }
+        let count = r.u32()?;
+        let mut states: HashMap<String, LayerKfacState> = HashMap::new();
+        for _ in 0..count {
+            let name = r.str()?;
+            let st = LayerKfacState {
+                factor_a: r.opt_matrix()?,
+                factor_b: r.opt_matrix()?,
+                inv_a: r.opt_matrix()?,
+                inv_b: r.opt_matrix()?,
+                last_curvature_step: r.u64()?,
+                last_inversion_step: r.u64()?,
+                scratch: KfacScratch::default(),
+            };
+            crate::snapshot::insert_unique(&mut states, "K-FAC layer", name, st)?;
+        }
+        r.finish()?;
+        // Restore the fallback first so a malformed inner blob leaves this
+        // optimizer untouched.
+        crate::StateSnapshot::import_state(&mut self.fallback, &fallback_bytes)?;
+        self.t = t;
+        self.states = states;
+        Ok(())
     }
 }
 

@@ -53,6 +53,18 @@ impl Default for Lamb {
     }
 }
 
+impl crate::StateSnapshot for Lamb {
+    fn export_state(&self) -> Vec<u8> {
+        // All of LAMB's mutable state lives in the inner Adam (`update` is
+        // scratch, fully overwritten by `direction_into` before any read).
+        crate::StateSnapshot::export_state(&self.inner)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), pipefisher_ckpt::CkptError> {
+        crate::StateSnapshot::import_state(&mut self.inner, bytes)
+    }
+}
+
 impl Optimizer for Lamb {
     fn begin_step(&mut self) {
         self.inner.begin_step();

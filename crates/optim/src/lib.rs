@@ -35,6 +35,7 @@ mod lamb;
 pub mod schedule;
 mod sgd;
 mod shampoo;
+mod snapshot;
 
 pub use adam::Adam;
 pub use kfac::{
@@ -45,6 +46,7 @@ pub use lamb::Lamb;
 pub use schedule::LrSchedule;
 pub use sgd::Sgd;
 pub use shampoo::{Shampoo, ShampooConfig};
+pub use snapshot::StateSnapshot;
 
 use pipefisher_nn::Parameter;
 

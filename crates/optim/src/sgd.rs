@@ -64,6 +64,33 @@ impl Optimizer for Sgd {
     }
 }
 
+impl crate::StateSnapshot for Sgd {
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = pipefisher_ckpt::SectionWriter::new();
+        let entries = crate::snapshot::sorted_entries(&self.velocity);
+        w.u32(entries.len() as u32);
+        for (name, v) in entries {
+            w.str(name);
+            w.matrix(v);
+        }
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), pipefisher_ckpt::CkptError> {
+        let mut r = pipefisher_ckpt::SectionReader::new("optim.sgd", bytes);
+        let count = r.u32()?;
+        let mut velocity = HashMap::new();
+        for _ in 0..count {
+            let name = r.str()?;
+            let v = r.matrix()?;
+            crate::snapshot::insert_unique(&mut velocity, "SGD velocity", name, v)?;
+        }
+        r.finish()?;
+        self.velocity = velocity;
+        Ok(())
+    }
+}
+
 /// `θ ← θ − lr·(base + wd·θ)` elementwise, without materializing the step.
 /// Matches the original clone + axpy sequence bitwise: when `wd == 0` the
 /// decay term is skipped entirely (adding `0.0` would flip `-0.0` signs).

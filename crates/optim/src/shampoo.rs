@@ -103,6 +103,44 @@ impl Default for Shampoo {
     }
 }
 
+impl crate::StateSnapshot for Shampoo {
+    fn export_state(&self) -> Vec<u8> {
+        let mut w = pipefisher_ckpt::SectionWriter::new();
+        w.u64(self.t);
+        let entries = crate::snapshot::sorted_entries(&self.states);
+        w.u32(entries.len() as u32);
+        for (name, st) in entries {
+            w.str(name);
+            w.opt_matrix(st.l.as_ref());
+            w.opt_matrix(st.r.as_ref());
+            w.opt_matrix(st.l_root.as_ref());
+            w.opt_matrix(st.r_root.as_ref());
+        }
+        w.into_bytes()
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), pipefisher_ckpt::CkptError> {
+        let mut r = pipefisher_ckpt::SectionReader::new("optim.shampoo", bytes);
+        let t = r.u64()?;
+        let count = r.u32()?;
+        let mut states = HashMap::new();
+        for _ in 0..count {
+            let name = r.str()?;
+            let st = ShampooState {
+                l: r.opt_matrix()?,
+                r: r.opt_matrix()?,
+                l_root: r.opt_matrix()?,
+                r_root: r.opt_matrix()?,
+            };
+            crate::snapshot::insert_unique(&mut states, "Shampoo", name, st)?;
+        }
+        r.finish()?;
+        self.t = t;
+        self.states = states;
+        Ok(())
+    }
+}
+
 impl Optimizer for Shampoo {
     fn begin_step(&mut self) {
         self.t += 1;

@@ -1,0 +1,56 @@
+//! Checkpoint capture of optimizer state (DESIGN.md §3.15).
+//!
+//! Each optimizer serializes its *mutable* state — step counters, moments,
+//! curvature EMAs, cached inverses, per-layer staleness steps — but not its
+//! hyperparameters, which the caller reconstructs from configuration.
+//! Per-parameter maps are written sorted by name so the encoding is
+//! deterministic; scratch buffers that are fully overwritten before use
+//! (Adam's direction buffer, K-FAC's working set) are deliberately excluded,
+//! which is safe precisely because they never carry state across steps.
+//!
+//! Refresh cadence is a pure function of the step counter (`(t-1) %
+//! interval == 0`), so restoring `t` restores the K-FAC/Shampoo cadence
+//! phase exactly — a resumed run refreshes curvature and inverses on the
+//! same absolute steps the uninterrupted run does.
+
+use std::collections::HashMap;
+
+use pipefisher_ckpt::CkptError;
+
+/// Serialization of an optimizer's mutable state for checkpointing.
+///
+/// The contract backing bitwise resume: for any optimizer `o`,
+/// `import_state(export_state(o))` into a freshly constructed optimizer of
+/// the same configuration yields one that produces bit-identical updates to
+/// `o` on every subsequent step.
+pub trait StateSnapshot {
+    /// Serializes the mutable state.
+    fn export_state(&self) -> Vec<u8>;
+
+    /// Replaces the mutable state with one captured by
+    /// [`StateSnapshot::export_state`]. On error, state is unchanged.
+    fn import_state(&mut self, bytes: &[u8]) -> Result<(), CkptError>;
+}
+
+/// A `HashMap`'s entries sorted by key, for deterministic encoding.
+pub(crate) fn sorted_entries<V>(map: &HashMap<String, V>) -> Vec<(&String, &V)> {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    entries
+}
+
+/// Inserts `(name, value)` into `map`, rejecting duplicates as
+/// [`CkptError::Malformed`].
+pub(crate) fn insert_unique<V>(
+    map: &mut HashMap<String, V>,
+    context: &str,
+    name: String,
+    value: V,
+) -> Result<(), CkptError> {
+    if map.insert(name.clone(), value).is_some() {
+        return Err(CkptError::Malformed {
+            detail: format!("duplicate entry '{name}' in {context} state"),
+        });
+    }
+    Ok(())
+}

@@ -13,11 +13,14 @@
 //! * [`perfmodel`] — the paper's §3.3 analytic performance model.
 //! * [`core`] — PipeFisher's automatic bubble work assignment.
 //! * [`lm`] — synthetic language-modeling workloads and training loops.
+//! * [`ckpt`] — versioned, checksummed training checkpoints with atomic
+//!   persistence and bitwise-deterministic resume.
 //! * [`harness`] — seeded chaos fabric + executor conformance checker.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory mapping each paper table/figure to a module and binary.
 
+pub use pipefisher_ckpt as ckpt;
 pub use pipefisher_core as core;
 pub use pipefisher_harness as harness;
 pub use pipefisher_lm as lm;

@@ -212,6 +212,35 @@ fn alloc_bench_has_required_sections() {
 }
 
 #[test]
+fn step_metrics_jsonl_rows_carry_checkpoint_write_time() {
+    // Metrics JSONL (`train --metrics-out`) is an artifact consumers parse;
+    // every row must expose `ckpt_write_ms` (0.0 when the step did not
+    // checkpoint) alongside the longstanding keys.
+    let row = pipefisher::lm::StepMetrics {
+        step: 0,
+        loss: 2.0,
+        grad_norm: 1.0,
+        lr: 1e-3,
+        data_ms: 0.1,
+        forward_backward_ms: 3.0,
+        optimizer_ms: 0.5,
+        curvature_refreshed: false,
+        curvature_refreshes: 0,
+        inversions: 0,
+        allocs: 0,
+        alloc_bytes: 0,
+        ckpt_write_ms: 1.25,
+    };
+    let jsonl = pipefisher::lm::to_jsonl(std::slice::from_ref(&row));
+    let v: Value = serde_json::from_str(jsonl.trim()).expect("row parses");
+    assert_eq!(v.get("ckpt_write_ms").and_then(Value::as_f64), Some(1.25));
+    for key in ["step", "loss", "grad_norm", "optimizer_ms", "ckpt_write_ms"] {
+        assert!(v.get(key).is_some(), "metrics row missing '{key}'");
+    }
+    assert_finite(&v, "metrics-row$");
+}
+
+#[test]
 fn soak_report_recorded_a_passing_block() {
     let v = load(&repo_root().join("SOAK.json"));
     assert_eq!(v.get("bench").and_then(Value::as_str), Some("soak"));
@@ -230,11 +259,14 @@ fn soak_report_recorded_a_passing_block() {
     let scenarios = v.get("scenarios").and_then(Value::as_i64).unwrap();
     let clean = v.get("clean").and_then(Value::as_i64).unwrap();
     let faulted = v.get("faulted").and_then(Value::as_i64).unwrap();
+    // `resumed` (kill-and-resume scenarios) is absent from reports written
+    // before checkpointing landed; treat it as 0 there.
+    let resumed = v.get("resumed").and_then(Value::as_i64).unwrap_or(0);
     assert!(scenarios >= 1);
     assert_eq!(
-        clean + faulted,
+        clean + faulted + resumed,
         scenarios,
-        "clean + faulted must cover every scenario (failures would break the sum)"
+        "clean + faulted + resumed must cover every scenario (failures would break the sum)"
     );
     assert_eq!(v.get("passed").and_then(Value::as_bool), Some(true));
     assert_eq!(

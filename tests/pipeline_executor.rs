@@ -255,8 +255,15 @@ fn injected_panic_aborts_with_stage_panic_error() {
     let err = trainer
         .run_pipelined(model, &kfac_choice(), 4, &opts)
         .expect_err("injected panic must abort the run");
+    assert_eq!(
+        err.completed_steps(),
+        1,
+        "fault at step 1 means exactly one step completed"
+    );
     match err {
-        ExecError::StagePanic { device, message } => {
+        ExecError::StagePanic {
+            device, message, ..
+        } => {
             assert_eq!(device, 1, "fault attributed to the wrong device");
             assert!(
                 message.contains("injected fault"),
